@@ -1,0 +1,1269 @@
+//! NetTube: per-video overlays with session caching and random-neighbor
+//! prefetching (Cheng & Liu, INFOCOM'09).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use socialtube::{
+    ChunkSource, LinkKind, Message, Outbox, PeerAddr, QueryScope, Report, RequestId, SearchPhase,
+    ServerOutbox, TimerKind, TransferKind, VideoCache, VodPeer, VodServer,
+};
+use socialtube_model::{Catalog, NodeId, VideoId};
+use socialtube_sim::{SimDuration, SimRng, SimTime};
+
+/// NetTube parameters (Section V settings of the paper's comparison).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetTubeConfig {
+    /// Query TTL — NetTube searches neighbors within two hops.
+    pub ttl: u8,
+    /// Links kept per video overlay (the paper's analysis uses `log u`).
+    pub links_per_video: usize,
+    /// Videos prefetched per playback (first chunks, random neighbors').
+    pub prefetch_count: usize,
+    /// Whether prefetching is enabled.
+    pub prefetch: bool,
+    /// Neighbor probe period.
+    pub probe_interval: SimDuration,
+    /// Probe reply deadline.
+    pub probe_timeout: SimDuration,
+    /// Query-flood deadline before resorting to the server.
+    pub search_timeout: SimDuration,
+    /// Stalled-transfer deadline.
+    pub chunk_timeout: SimDuration,
+    /// Delay after playback start before prefetching.
+    pub prefetch_delay: SimDuration,
+    /// Optional cache capacity in videos.
+    pub cache_capacity: Option<usize>,
+}
+
+impl Default for NetTubeConfig {
+    fn default() -> Self {
+        Self {
+            ttl: 2,
+            links_per_video: 5,
+            prefetch_count: 3,
+            prefetch: true,
+            probe_interval: SimDuration::from_mins(10),
+            probe_timeout: SimDuration::from_secs(5),
+            search_timeout: SimDuration::from_millis(1_500),
+            chunk_timeout: SimDuration::from_secs(60),
+            prefetch_delay: SimDuration::from_secs(2),
+            cache_capacity: None,
+        }
+    }
+}
+
+impl NetTubeConfig {
+    /// The paper's "NetTube w/o PF" configuration.
+    pub fn without_prefetch() -> Self {
+        Self {
+            prefetch: false,
+            ..Self::default()
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Search {
+    video: VideoId,
+    kind: TransferKind,
+    requested_at: SimTime,
+    provider: Option<NodeId>,
+    candidates: Vec<NodeId>,
+    from_chunk: u32,
+    playback_reported: bool,
+    asked_server: bool,
+    served_by_server: bool,
+}
+
+/// Bound on the duplicate-suppression window for flooded queries.
+const SEEN_QUERY_WINDOW: usize = 512;
+
+/// A NetTube peer.
+///
+/// Keeps one overlay's worth of links *per watched video* — links accumulate
+/// with session length (the maintenance-overhead growth of Figs 15/18) and
+/// two nodes may hold redundant links through different overlays. Lookups
+/// flood all neighbors within [`NetTubeConfig::ttl`] hops; prefetching grabs
+/// first chunks of *random* videos from neighbors' caches.
+#[derive(Debug)]
+pub struct NetTubePeer {
+    node: NodeId,
+    catalog: Arc<Catalog>,
+    config: NetTubeConfig,
+    rng: SimRng,
+
+    online: bool,
+    /// Per-video overlay links: `(neighbor, video)` pairs. Intentionally not
+    /// deduplicated by neighbor — each pair is a link in one overlay.
+    links: Vec<(NodeId, VideoId)>,
+    cache: VideoCache,
+    neighbor_digests: HashMap<NodeId, Vec<VideoId>>,
+
+    searches: HashMap<RequestId, Search>,
+    seen_queries: HashSet<RequestId>,
+    seen_order: VecDeque<RequestId>,
+    pending_probes: HashMap<u64, NodeId>,
+    /// Whether this session's initial server-directed join happened.
+    /// NetTube asks the server for overlay providers only on the *first*
+    /// request; later flood misses are served by the server directly
+    /// ("if the video is not found, the user resorts to the server").
+    joined_session: bool,
+
+    next_request: u32,
+    next_nonce: u64,
+}
+
+impl NetTubePeer {
+    /// Creates an offline NetTube peer.
+    pub fn new(node: NodeId, catalog: Arc<Catalog>, config: NetTubeConfig, rng: SimRng) -> Self {
+        let cache = VideoCache::from_config(config.cache_capacity);
+        Self {
+            node,
+            catalog,
+            config,
+            rng,
+            online: false,
+            links: Vec::new(),
+            cache,
+            neighbor_digests: HashMap::new(),
+            searches: HashMap::new(),
+            seen_queries: HashSet::new(),
+            seen_order: VecDeque::new(),
+            pending_probes: HashMap::new(),
+            joined_session: false,
+            next_request: 0,
+            next_nonce: 0,
+        }
+    }
+
+    /// Read-only view of the cache (tests and diagnostics).
+    pub fn cache(&self) -> &VideoCache {
+        &self.cache
+    }
+
+    /// Distinct neighbor nodes across all per-video overlays.
+    pub fn distinct_neighbors(&self) -> Vec<NodeId> {
+        let mut seen = HashSet::new();
+        self.links
+            .iter()
+            .filter(|(n, _)| seen.insert(*n))
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    fn fresh_request(&mut self) -> RequestId {
+        let id = RequestId::new(self.node, self.next_request);
+        self.next_request = self.next_request.wrapping_add(1);
+        id
+    }
+
+    fn fresh_nonce(&mut self) -> u64 {
+        self.next_nonce = self.next_nonce.wrapping_add(1);
+        self.next_nonce
+    }
+
+    fn total_chunks(&self, video: VideoId) -> u32 {
+        self.catalog
+            .video(video)
+            .map(|v| v.chunk_count())
+            .unwrap_or(1)
+    }
+
+    fn chunk_bits(&self, video: VideoId) -> u64 {
+        self.catalog
+            .video(video)
+            .map(|v| v.chunk_size_bits())
+            .unwrap_or(0)
+    }
+
+    fn mark_seen(&mut self, id: RequestId) -> bool {
+        if !self.seen_queries.insert(id) {
+            return false;
+        }
+        self.seen_order.push_back(id);
+        while self.seen_order.len() > SEEN_QUERY_WINDOW {
+            if let Some(old) = self.seen_order.pop_front() {
+                self.seen_queries.remove(&old);
+            }
+        }
+        true
+    }
+
+    fn overlay_link_count(&self, video: VideoId) -> usize {
+        self.links.iter().filter(|(_, v)| *v == video).count()
+    }
+
+    fn add_link(&mut self, neighbor: NodeId, video: VideoId) -> bool {
+        if neighbor == self.node {
+            return false;
+        }
+        if self.links.contains(&(neighbor, video)) {
+            return false;
+        }
+        if self.overlay_link_count(video) >= self.config.links_per_video {
+            return false;
+        }
+        self.links.push((neighbor, video));
+        true
+    }
+
+    fn remove_node_links(&mut self, neighbor: NodeId) {
+        self.links.retain(|(n, _)| *n != neighbor);
+        self.neighbor_digests.remove(&neighbor);
+    }
+
+    fn connect_to(&mut self, target: NodeId, video: VideoId, out: &mut Outbox) {
+        if target == self.node || self.links.contains(&(target, video)) {
+            return;
+        }
+        if self.overlay_link_count(video) >= self.config.links_per_video {
+            return;
+        }
+        out.to_peer(
+            target,
+            Message::ConnectRequest {
+                kind: LinkKind::Inner,
+                channel: None,
+                video: Some(video),
+            },
+        );
+    }
+
+    fn ask_server(&mut self, id: RequestId, out: &mut Outbox) {
+        let joined = self.joined_session;
+        let Some(search) = self.searches.get_mut(&id) else {
+            return;
+        };
+        if joined && !search.asked_server {
+            // Past the initial join, a flood miss goes straight to the
+            // server for service, not for more contacts.
+            search.asked_server = true;
+        }
+        if search.asked_server {
+            if search.kind == TransferKind::Prefetch {
+                // Opportunistic prefetches never burden the server.
+                self.searches.remove(&id);
+                return;
+            }
+            // Contacts exhausted (or past the initial join): the server
+            // serves the video itself.
+            if !search.served_by_server {
+                search.served_by_server = true;
+                out.report(Report::ServerFallback {
+                    node: self.node,
+                    video: search.video,
+                });
+                out.to_server(Message::VideoRequest {
+                    id,
+                    video: search.video,
+                    from_chunk: search.from_chunk,
+                    kind: search.kind,
+                });
+            }
+            return;
+        }
+        search.asked_server = true;
+        if search.kind == TransferKind::Prefetch {
+            // Prefetches never escalate to the server in NetTube — they are
+            // opportunistic grabs from neighbors; just drop the search.
+            self.searches.remove(&id);
+            return;
+        }
+        self.joined_session = true;
+        out.to_server(Message::JoinRequest {
+            video: search.video,
+        });
+        out.timer(
+            self.config.search_timeout,
+            TimerKind::SearchDeadline {
+                id,
+                phase: SearchPhase::Server,
+            },
+        );
+    }
+
+    fn try_candidate(&mut self, id: RequestId, out: &mut Outbox) {
+        let Some(search) = self.searches.get_mut(&id) else {
+            return;
+        };
+        let video = search.video;
+        let from_chunk = search.from_chunk;
+        let kind = search.kind;
+        if let Some(candidate) = search.candidates.pop() {
+            search.provider = Some(candidate);
+            out.to_peer(
+                candidate,
+                Message::ChunkRequest {
+                    id,
+                    video,
+                    from_chunk,
+                    kind,
+                },
+            );
+            out.timer(self.config.chunk_timeout, TimerKind::ChunkDeadline { id });
+            self.connect_to(candidate, video, out);
+        } else {
+            self.ask_server(id, out);
+        }
+    }
+
+    fn schedule_prefetch(&mut self, out: &mut Outbox) {
+        if self.config.prefetch {
+            out.timer(self.config.prefetch_delay, TimerKind::PrefetchKick);
+        }
+    }
+}
+
+impl VodPeer for NetTubePeer {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn on_login(&mut self, _now: SimTime, out: &mut Outbox) {
+        self.online = true;
+        // Re-establish the per-video overlay links remembered from earlier
+        // sessions ("when a node finishes watching a video, it remains in
+        // its overlay"); unanswered nodes are dropped at the deadline.
+        // This is what makes NetTube's link count grow cumulatively with
+        // videos watched (Fig 18).
+        for neighbor in self.distinct_neighbors() {
+            let video = self
+                .links
+                .iter()
+                .find(|(n, _)| *n == neighbor)
+                .map(|(_, v)| *v);
+            let nonce = self.fresh_nonce();
+            self.pending_probes.insert(nonce, neighbor);
+            out.to_peer(
+                neighbor,
+                Message::ConnectRequest {
+                    kind: LinkKind::Inner,
+                    channel: None,
+                    video,
+                },
+            );
+            out.timer(
+                self.config.probe_timeout,
+                TimerKind::ProbeDeadline { neighbor, nonce },
+            );
+        }
+        out.timer(self.config.probe_interval, TimerKind::ProbeTick);
+    }
+
+    fn on_logout(&mut self, _now: SimTime, out: &mut Outbox) {
+        self.online = false;
+        self.joined_session = false;
+        for neighbor in self.distinct_neighbors() {
+            out.to_peer(neighbor, Message::Leave);
+        }
+        out.to_server(Message::LogOff);
+        self.searches.clear();
+        self.pending_probes.clear();
+    }
+
+    fn watch(&mut self, now: SimTime, video: VideoId, out: &mut Outbox) {
+        debug_assert!(self.online, "watch() on an offline peer");
+        let total = self.total_chunks(video);
+        if self.cache.has_full(video) {
+            self.cache.touch(video, now.as_micros());
+            out.report(Report::PlaybackStarted {
+                node: self.node,
+                video,
+                requested_at: now,
+                source: ChunkSource::Cache,
+            });
+            self.schedule_prefetch(out);
+            return;
+        }
+        let (from_chunk, playback_reported) = if self.cache.has_first_chunk(video) {
+            out.report(Report::PlaybackStarted {
+                node: self.node,
+                video,
+                requested_at: now,
+                source: ChunkSource::Prefetched,
+            });
+            self.schedule_prefetch(out);
+            let from = self.cache.chunks_of(video);
+            if from >= total {
+                return;
+            }
+            (from, true)
+        } else {
+            (0, false)
+        };
+
+        let id = self.fresh_request();
+        self.searches.insert(
+            id,
+            Search {
+                video,
+                kind: TransferKind::Playback,
+                requested_at: now,
+                provider: None,
+                candidates: Vec::new(),
+                from_chunk,
+                playback_reported,
+                asked_server: false,
+                served_by_server: false,
+            },
+        );
+        let neighbors = self.distinct_neighbors();
+        if neighbors.is_empty() {
+            self.ask_server(id, out);
+            return;
+        }
+        for n in neighbors {
+            out.to_peer(
+                n,
+                Message::Query {
+                    id,
+                    video,
+                    ttl: self.config.ttl,
+                    origin: self.node,
+                    scope: QueryScope::PerVideo,
+                },
+            );
+        }
+        out.timer(
+            self.config.search_timeout,
+            TimerKind::SearchDeadline {
+                id,
+                phase: SearchPhase::Channel,
+            },
+        );
+    }
+
+    fn on_message(&mut self, now: SimTime, from: PeerAddr, msg: Message, out: &mut Outbox) {
+        if !self.online {
+            return;
+        }
+        match msg {
+            Message::Query {
+                id,
+                video,
+                ttl,
+                origin,
+                scope,
+            } => {
+                if origin == self.node || !self.mark_seen(id) {
+                    return;
+                }
+                if self.cache.has_full(video) {
+                    self.cache.touch(video, now.as_micros());
+                    out.to_peer(
+                        origin,
+                        Message::QueryHit {
+                            id,
+                            video,
+                            provider: self.node,
+                            provider_channel: None,
+                        },
+                    );
+                    return;
+                }
+                if ttl == 0 {
+                    return;
+                }
+                let sender = match from {
+                    PeerAddr::Peer(n) => Some(n),
+                    PeerAddr::Server => None,
+                };
+                for t in self.distinct_neighbors() {
+                    if Some(t) == sender || t == origin {
+                        continue;
+                    }
+                    out.to_peer(
+                        t,
+                        Message::Query {
+                            id,
+                            video,
+                            ttl: ttl - 1,
+                            origin,
+                            scope,
+                        },
+                    );
+                }
+            }
+
+            Message::QueryHit {
+                id,
+                video,
+                provider,
+                ..
+            } => {
+                let Some(search) = self.searches.get_mut(&id) else {
+                    return;
+                };
+                if search.provider.is_some() || search.served_by_server {
+                    return;
+                }
+                search.provider = Some(provider);
+                let from_chunk = search.from_chunk;
+                let kind = search.kind;
+                out.to_peer(
+                    provider,
+                    Message::ChunkRequest {
+                        id,
+                        video,
+                        from_chunk,
+                        kind,
+                    },
+                );
+                out.timer(self.config.chunk_timeout, TimerKind::ChunkDeadline { id });
+                self.connect_to(provider, video, out);
+            }
+
+            Message::OverlayContacts { video, contacts } => {
+                // Response to our JoinRequest: adopt contacts as transfer
+                // candidates and overlay links.
+                let search_id = self
+                    .searches
+                    .iter()
+                    .find(|(_, s)| s.video == video && s.asked_server && s.provider.is_none())
+                    .map(|(id, _)| *id);
+                for c in contacts.iter().take(self.config.links_per_video) {
+                    self.connect_to(*c, video, out);
+                }
+                if let Some(id) = search_id {
+                    if let Some(search) = self.searches.get_mut(&id) {
+                        search.candidates = contacts;
+                        search.candidates.reverse(); // pop() in server order
+                    }
+                    self.try_candidate(id, out);
+                }
+            }
+
+            Message::ChunkRequest {
+                id,
+                video,
+                from_chunk,
+                kind,
+            } => {
+                let PeerAddr::Peer(requester) = from else {
+                    return;
+                };
+                if !self.cache.has_full(video) {
+                    out.to_peer(requester, Message::ChunkUnavailable { id, video });
+                    return;
+                }
+                self.cache.touch(video, now.as_micros());
+                let total = self.total_chunks(video);
+                let bits = self.chunk_bits(video);
+                let last = match kind {
+                    TransferKind::Prefetch => from_chunk,
+                    TransferKind::Playback => total.saturating_sub(1),
+                };
+                for chunk in from_chunk..=last.min(total.saturating_sub(1)) {
+                    out.to_peer(
+                        requester,
+                        Message::ChunkData {
+                            id,
+                            video,
+                            chunk,
+                            bits,
+                            kind,
+                        },
+                    );
+                }
+            }
+
+            Message::ChunkData {
+                id,
+                video,
+                chunk,
+                bits,
+                kind,
+            } => {
+                let source = match from {
+                    PeerAddr::Peer(_) => ChunkSource::Peer,
+                    PeerAddr::Server => ChunkSource::Server,
+                };
+                out.report(Report::ChunkReceived {
+                    node: self.node,
+                    video,
+                    bits,
+                    source,
+                    kind,
+                });
+                let total = self.total_chunks(video);
+                self.cache
+                    .record_chunk(video, chunk, total, now.as_micros());
+                let mut done = false;
+                let mut playback_began = false;
+                if let Some(search) = self.searches.get_mut(&id) {
+                    if kind == TransferKind::Playback
+                        && !search.playback_reported
+                        && chunk == search.from_chunk
+                    {
+                        search.playback_reported = true;
+                        playback_began = true;
+                        out.report(Report::PlaybackStarted {
+                            node: self.node,
+                            video,
+                            requested_at: search.requested_at,
+                            source,
+                        });
+                    }
+                    done = match kind {
+                        TransferKind::Prefetch => chunk == search.from_chunk,
+                        TransferKind::Playback => chunk + 1 >= total,
+                    };
+                }
+                if playback_began {
+                    self.schedule_prefetch(out);
+                }
+                if done {
+                    self.searches.remove(&id);
+                    if kind == TransferKind::Playback {
+                        // Join the video's overlay as a future provider.
+                        out.to_server(Message::WatchStarted { video });
+                    }
+                }
+            }
+
+            Message::ChunkUnavailable { id, .. } => {
+                let stalled = self
+                    .searches
+                    .get_mut(&id)
+                    .map(|s| {
+                        s.provider = None;
+                        s.from_chunk = self.cache.chunks_of(s.video);
+                    })
+                    .is_some();
+                if stalled {
+                    self.try_candidate(id, out);
+                }
+            }
+
+            Message::ConnectRequest { video, .. } => {
+                let PeerAddr::Peer(requester) = from else {
+                    return;
+                };
+                let Some(video) = video else {
+                    return;
+                };
+                // NetTube accepts as long as the per-overlay budget allows;
+                // an existing link is refreshed.
+                let known = self.links.contains(&(requester, video));
+                if known || self.add_link(requester, video) {
+                    out.to_peer(
+                        requester,
+                        Message::ConnectAccept {
+                            kind: LinkKind::Inner,
+                            channel: None,
+                            video: Some(video),
+                        },
+                    );
+                    // Exchange cache digests: the basis of NetTube's
+                    // random-neighbor prefetching.
+                    out.to_peer(
+                        requester,
+                        Message::CacheDigest {
+                            videos: self.cache.full_videos().collect(),
+                        },
+                    );
+                } else {
+                    out.to_peer(
+                        requester,
+                        Message::ConnectReject {
+                            kind: LinkKind::Inner,
+                        },
+                    );
+                }
+            }
+
+            Message::ConnectAccept { video, .. } => {
+                let PeerAddr::Peer(accepter) = from else {
+                    return;
+                };
+                self.pending_probes.retain(|_, n| *n != accepter);
+                if let Some(video) = video {
+                    self.add_link(accepter, video);
+                }
+                out.to_peer(
+                    accepter,
+                    Message::CacheDigest {
+                        videos: self.cache.full_videos().collect(),
+                    },
+                );
+            }
+
+            Message::ConnectReject { .. } => {
+                if let PeerAddr::Peer(rejecter) = from {
+                    self.pending_probes.retain(|_, n| *n != rejecter);
+                }
+            }
+
+            Message::CacheDigest { videos } => {
+                if let PeerAddr::Peer(p) = from {
+                    self.neighbor_digests.insert(p, videos);
+                }
+            }
+
+            Message::Probe { nonce } => {
+                if let PeerAddr::Peer(p) = from {
+                    out.to_peer(p, Message::ProbeAck { nonce });
+                }
+            }
+
+            Message::ProbeAck { nonce } => {
+                self.pending_probes.remove(&nonce);
+            }
+
+            Message::Leave => {
+                if let PeerAddr::Peer(p) = from {
+                    self.remove_node_links(p);
+                }
+            }
+
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _now: SimTime, timer: TimerKind, out: &mut Outbox) {
+        if !self.online {
+            return;
+        }
+        match timer {
+            TimerKind::ProbeTick => {
+                for neighbor in self.distinct_neighbors() {
+                    let nonce = self.fresh_nonce();
+                    self.pending_probes.insert(nonce, neighbor);
+                    out.to_peer(neighbor, Message::Probe { nonce });
+                    out.timer(
+                        self.config.probe_timeout,
+                        TimerKind::ProbeDeadline { neighbor, nonce },
+                    );
+                }
+                out.timer(self.config.probe_interval, TimerKind::ProbeTick);
+            }
+
+            TimerKind::ProbeDeadline { neighbor, nonce } => {
+                if self.pending_probes.remove(&nonce).is_some() {
+                    self.remove_node_links(neighbor);
+                }
+            }
+
+            TimerKind::SearchDeadline { id, .. } => {
+                let stalled = self
+                    .searches
+                    .get(&id)
+                    .is_some_and(|s| s.provider.is_none() && !s.served_by_server);
+                if stalled {
+                    self.ask_server(id, out);
+                }
+            }
+
+            TimerKind::ChunkDeadline { id } => {
+                let stalled = self
+                    .searches
+                    .get_mut(&id)
+                    .map(|s| {
+                        s.provider = None;
+                        s.from_chunk = self.cache.chunks_of(s.video);
+                    })
+                    .is_some();
+                if stalled {
+                    self.try_candidate(id, out);
+                }
+            }
+
+            TimerKind::PrefetchKick => {
+                if !self.config.prefetch {
+                    return;
+                }
+                // Random videos from neighbors' caches — NetTube's strategy,
+                // which SocialTube's popularity-based choice improves on.
+                let mut pool: Vec<(NodeId, VideoId)> = Vec::new();
+                for (n, vids) in &self.neighbor_digests {
+                    for v in vids {
+                        if !self.cache.has_first_chunk(*v) {
+                            pool.push((*n, *v));
+                        }
+                    }
+                }
+                let picks = self.rng.pick_distinct(&pool, self.config.prefetch_count);
+                for (neighbor, video) in picks {
+                    let id = self.fresh_request();
+                    self.searches.insert(
+                        id,
+                        Search {
+                            video,
+                            kind: TransferKind::Prefetch,
+                            requested_at: _now,
+                            provider: Some(neighbor),
+                            candidates: Vec::new(),
+                            from_chunk: 0,
+                            playback_reported: true,
+                            asked_server: false,
+                            served_by_server: false,
+                        },
+                    );
+                    out.to_peer(
+                        neighbor,
+                        Message::ChunkRequest {
+                            id,
+                            video,
+                            from_chunk: 0,
+                            kind: TransferKind::Prefetch,
+                        },
+                    );
+                }
+            }
+
+            TimerKind::LoginDeadline => {}
+        }
+    }
+
+    fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    fn is_online(&self) -> bool {
+        self.online
+    }
+
+    fn has_cached(&self, video: VideoId) -> bool {
+        self.cache.has_full(video)
+    }
+}
+
+/// The NetTube server: per-video overlay tracker plus origin store.
+#[derive(Debug)]
+pub struct NetTubeServer {
+    catalog: Arc<Catalog>,
+    overlays: HashMap<VideoId, Vec<NodeId>>,
+    contacts_per_join: usize,
+    rng: SimRng,
+}
+
+impl NetTubeServer {
+    /// Creates a server over `catalog`.
+    pub fn new(catalog: Arc<Catalog>, rng: SimRng) -> Self {
+        Self {
+            catalog,
+            overlays: HashMap::new(),
+            contacts_per_join: NetTubeConfig::default().links_per_video,
+            rng,
+        }
+    }
+
+    /// Members of a video overlay (tests and diagnostics).
+    pub fn overlay_size(&self, video: VideoId) -> usize {
+        self.overlays.get(&video).map_or(0, Vec::len)
+    }
+}
+
+impl VodServer for NetTubeServer {
+    fn on_message(&mut self, _now: SimTime, from: NodeId, msg: Message, out: &mut ServerOutbox) {
+        match msg {
+            Message::JoinRequest { video } => {
+                let members: Vec<NodeId> = self
+                    .overlays
+                    .get(&video)
+                    .map(|m| m.iter().copied().filter(|n| *n != from).collect())
+                    .unwrap_or_default();
+                let contacts = self.rng.pick_distinct(&members, self.contacts_per_join);
+                out.to_peer(from, Message::OverlayContacts { video, contacts });
+            }
+
+            Message::WatchStarted { video } => {
+                let members = self.overlays.entry(video).or_default();
+                if !members.contains(&from) {
+                    members.push(from);
+                }
+            }
+
+            Message::LogOff => {
+                for members in self.overlays.values_mut() {
+                    members.retain(|n| *n != from);
+                }
+            }
+
+            Message::VideoRequest {
+                id,
+                video,
+                from_chunk,
+                kind,
+            } => {
+                if self.catalog.video(video).is_err() {
+                    return;
+                }
+                if kind == TransferKind::Playback {
+                    out.report(Report::ServedFromOrigin { node: from, video });
+                }
+                out.serve_chunks(from, id, video, from_chunk, kind);
+            }
+
+            _ => {}
+        }
+    }
+
+    fn tracked_entries(&self) -> usize {
+        self.overlays.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialtube::Command;
+    use socialtube_model::CatalogBuilder;
+
+    fn fixture() -> (Arc<Catalog>, Vec<VideoId>) {
+        let mut b = CatalogBuilder::new();
+        let cat = b.add_category("k");
+        let ch = b.add_channel("c", [cat]);
+        let vids: Vec<VideoId> = (0..3).map(|i| b.add_video(ch, 100, i)).collect();
+        (Arc::new(b.build()), vids)
+    }
+
+    fn peer(node: u32) -> (NetTubePeer, Vec<VideoId>) {
+        let (catalog, vids) = fixture();
+        (
+            NetTubePeer::new(
+                NodeId::new(node),
+                catalog,
+                NetTubeConfig::default(),
+                SimRng::seed(u64::from(node)),
+            ),
+            vids,
+        )
+    }
+
+    fn to_server(out: &Outbox) -> Vec<&Message> {
+        out.commands()
+            .iter()
+            .filter_map(|c| match c {
+                Command::ToServer { msg } => Some(msg),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn to_peers(out: &Outbox) -> Vec<(NodeId, &Message)> {
+        out.commands()
+            .iter()
+            .filter_map(|c| match c {
+                Command::ToPeer { to, msg } => Some((*to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn complete_download(p: &mut NetTubePeer, video: VideoId, id: RequestId, out: &mut Outbox) {
+        for chunk in 0..socialtube_model::DEFAULT_CHUNKS_PER_VIDEO {
+            p.on_message(
+                SimTime::ZERO,
+                PeerAddr::Server,
+                Message::ChunkData {
+                    id,
+                    video,
+                    chunk,
+                    bits: 10,
+                    kind: TransferKind::Playback,
+                },
+                out,
+            );
+        }
+    }
+
+    #[test]
+    fn first_watch_without_neighbors_joins_via_server() {
+        let (mut p, vids) = peer(0);
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        out.drain();
+        p.watch(SimTime::ZERO, vids[0], &mut out);
+        assert!(to_server(&out)
+            .iter()
+            .any(|m| matches!(m, Message::JoinRequest { .. })));
+    }
+
+    #[test]
+    fn empty_overlay_contacts_mean_server_serves() {
+        let (mut p, vids) = peer(0);
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.watch(SimTime::ZERO, vids[0], &mut out);
+        out.drain();
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Server,
+            Message::OverlayContacts {
+                video: vids[0],
+                contacts: vec![],
+            },
+            &mut out,
+        );
+        assert!(to_server(&out)
+            .iter()
+            .any(|m| matches!(m, Message::VideoRequest { .. })));
+        assert!(out
+            .commands()
+            .iter()
+            .any(|c| matches!(c, Command::Report(Report::ServerFallback { .. }))));
+    }
+
+    #[test]
+    fn overlay_contacts_are_tried_and_connected() {
+        let (mut p, vids) = peer(0);
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.watch(SimTime::ZERO, vids[0], &mut out);
+        out.drain();
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Server,
+            Message::OverlayContacts {
+                video: vids[0],
+                contacts: vec![NodeId::new(1), NodeId::new(2)],
+            },
+            &mut out,
+        );
+        let sent = to_peers(&out);
+        assert!(sent
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(1) && matches!(m, Message::ChunkRequest { .. })));
+        assert!(sent
+            .iter()
+            .any(|(_, m)| matches!(m, Message::ConnectRequest { video: Some(_), .. })));
+    }
+
+    #[test]
+    fn finishing_download_joins_overlay_and_accumulates_links() {
+        let (mut p, vids) = peer(0);
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        // Watch and download video 0 from the server.
+        p.watch(SimTime::ZERO, vids[0], &mut out);
+        out.drain();
+        complete_download(&mut p, vids[0], RequestId::new(NodeId::new(0), 0), &mut out);
+        assert!(to_server(&out)
+            .iter()
+            .any(|m| matches!(m, Message::WatchStarted { .. })));
+        assert!(p.has_cached(vids[0]));
+        out.drain();
+        // Connect links for two different videos to the same neighbor:
+        // both are kept (redundant per-video links, the paper's critique).
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(9)),
+            Message::ConnectRequest {
+                kind: LinkKind::Inner,
+                channel: None,
+                video: Some(vids[0]),
+            },
+            &mut out,
+        );
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(9)),
+            Message::ConnectRequest {
+                kind: LinkKind::Inner,
+                channel: None,
+                video: Some(vids[1]),
+            },
+            &mut out,
+        );
+        assert_eq!(p.link_count(), 2);
+        assert_eq!(p.distinct_neighbors(), vec![NodeId::new(9)]);
+    }
+
+    #[test]
+    fn per_overlay_link_budget_is_enforced() {
+        let (catalog, vids) = fixture();
+        let config = NetTubeConfig {
+            links_per_video: 2,
+            ..NetTubeConfig::default()
+        };
+        let mut p = NetTubePeer::new(NodeId::new(0), catalog, config, SimRng::seed(0));
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        for i in 1..=3 {
+            p.on_message(
+                SimTime::ZERO,
+                PeerAddr::Peer(NodeId::new(i)),
+                Message::ConnectRequest {
+                    kind: LinkKind::Inner,
+                    channel: None,
+                    video: Some(vids[0]),
+                },
+                &mut out,
+            );
+        }
+        assert_eq!(p.link_count(), 2);
+        assert!(to_peers(&out)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(3) && matches!(m, Message::ConnectReject { .. })));
+    }
+
+    #[test]
+    fn query_flood_covers_distinct_neighbors_within_ttl() {
+        let (mut p, vids) = peer(5);
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.add_link(NodeId::new(1), vids[0]);
+        p.add_link(NodeId::new(1), vids[1]); // same node, second overlay
+        p.add_link(NodeId::new(2), vids[1]);
+        out.drain();
+        p.watch(SimTime::ZERO, vids[2], &mut out);
+        let queries: Vec<NodeId> = to_peers(&out)
+            .iter()
+            .filter(|(_, m)| matches!(m, Message::Query { .. }))
+            .map(|(to, _)| *to)
+            .collect();
+        // Each distinct neighbor queried exactly once.
+        assert_eq!(queries.len(), 2);
+        assert!(queries.contains(&NodeId::new(1)));
+        assert!(queries.contains(&NodeId::new(2)));
+    }
+
+    #[test]
+    fn cache_digests_flow_on_connect_and_feed_prefetch() {
+        let (mut p, vids) = peer(0);
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        out.drain();
+        // Incoming connect: we accept and send our digest.
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(9)),
+            Message::ConnectRequest {
+                kind: LinkKind::Inner,
+                channel: None,
+                video: Some(vids[0]),
+            },
+            &mut out,
+        );
+        assert!(to_peers(&out)
+            .iter()
+            .any(|(_, m)| matches!(m, Message::CacheDigest { .. })));
+        out.drain();
+        // Their digest arrives; prefetch kick grabs from it.
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(9)),
+            Message::CacheDigest {
+                videos: vec![vids[1], vids[2]],
+            },
+            &mut out,
+        );
+        p.on_timer(SimTime::ZERO, TimerKind::PrefetchKick, &mut out);
+        let prefetches = to_peers(&out)
+            .iter()
+            .filter(|(to, m)| {
+                *to == NodeId::new(9)
+                    && matches!(
+                        m,
+                        Message::ChunkRequest {
+                            kind: TransferKind::Prefetch,
+                            ..
+                        }
+                    )
+            })
+            .count();
+        assert_eq!(prefetches, 2);
+    }
+
+    #[test]
+    fn prefetch_disabled_config_does_not_prefetch() {
+        let (catalog, vids) = fixture();
+        let mut p = NetTubePeer::new(
+            NodeId::new(0),
+            catalog,
+            NetTubeConfig::without_prefetch(),
+            SimRng::seed(0),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(9)),
+            Message::CacheDigest {
+                videos: vec![vids[1]],
+            },
+            &mut out,
+        );
+        out.drain();
+        p.on_timer(SimTime::ZERO, TimerKind::PrefetchKick, &mut out);
+        assert!(out.commands().is_empty());
+    }
+
+    #[test]
+    fn leave_removes_all_links_of_neighbor() {
+        let (mut p, vids) = peer(0);
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.add_link(NodeId::new(1), vids[0]);
+        p.add_link(NodeId::new(1), vids[1]);
+        p.add_link(NodeId::new(2), vids[0]);
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(1)),
+            Message::Leave,
+            &mut out,
+        );
+        assert_eq!(p.link_count(), 1);
+        assert_eq!(p.distinct_neighbors(), vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn server_tracks_overlays_and_hands_out_contacts() {
+        let (catalog, vids) = fixture();
+        let mut s = NetTubeServer::new(catalog, SimRng::seed(1));
+        let mut out = ServerOutbox::new();
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(1),
+            Message::WatchStarted { video: vids[0] },
+            &mut out,
+        );
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(2),
+            Message::WatchStarted { video: vids[0] },
+            &mut out,
+        );
+        assert_eq!(s.overlay_size(vids[0]), 2);
+        out.drain();
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(3),
+            Message::JoinRequest { video: vids[0] },
+            &mut out,
+        );
+        let contacts = out
+            .commands()
+            .iter()
+            .find_map(|c| match c {
+                socialtube::ServerCommand::ToPeer {
+                    msg: Message::OverlayContacts { contacts, .. },
+                    ..
+                } => Some(contacts.clone()),
+                _ => None,
+            })
+            .expect("contacts");
+        assert_eq!(contacts.len(), 2);
+        s.on_message(SimTime::ZERO, NodeId::new(1), Message::LogOff, &mut out);
+        assert_eq!(s.overlay_size(vids[0]), 1);
+    }
+
+    #[test]
+    fn nettube_tracks_more_server_state_than_socialtube_style_membership() {
+        // The paper's point: per-video tracking grows with videos watched.
+        let (catalog, vids) = fixture();
+        let mut s = NetTubeServer::new(catalog, SimRng::seed(1));
+        let mut out = ServerOutbox::new();
+        for v in &vids {
+            s.on_message(
+                SimTime::ZERO,
+                NodeId::new(1),
+                Message::WatchStarted { video: *v },
+                &mut out,
+            );
+        }
+        assert_eq!(s.tracked_entries(), 3, "one entry per watched video");
+    }
+}

@@ -1,0 +1,696 @@
+//! PA-VoD: peer-assisted VoD with server-directed, currently-watching
+//! providers and no persistent cache.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use socialtube::{
+    ChunkSource, Message, Outbox, PeerAddr, Report, RequestId, SearchPhase, ServerOutbox,
+    TimerKind, TransferKind, VodPeer, VodServer,
+};
+use socialtube_model::{Catalog, NodeId, VideoId};
+use socialtube_sim::{SimDuration, SimRng, SimTime};
+
+/// PA-VoD parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PaVodConfig {
+    /// How many candidate providers the server returns per lookup.
+    pub providers_per_lookup: usize,
+    /// How long a peer transfer may stall before the server takes over.
+    pub chunk_timeout: SimDuration,
+    /// How long to wait for the server's provider list before asking again
+    /// (lost-message defence in the TCP deployment).
+    pub lookup_timeout: SimDuration,
+}
+
+impl Default for PaVodConfig {
+    fn default() -> Self {
+        Self {
+            providers_per_lookup: 5,
+            chunk_timeout: SimDuration::from_secs(60),
+            lookup_timeout: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// One in-flight PA-VoD request.
+#[derive(Clone, Debug)]
+struct Transfer {
+    video: VideoId,
+    requested_at: SimTime,
+    /// Provider candidates not yet tried.
+    candidates: Vec<NodeId>,
+    provider: Option<NodeId>,
+    playback_reported: bool,
+    received: u32,
+    went_to_server: bool,
+}
+
+/// A PA-VoD peer.
+///
+/// No overlay is maintained: every request is a server lookup for peers
+/// *currently watching* the video (the PA-VoD design point the paper
+/// criticizes — "since videos on YouTube tend to be short, many videos do
+/// not have peer providers so the server must provide the videos instead").
+/// The peer holds only the video it is currently watching, and stops
+/// providing when it moves on.
+#[derive(Debug)]
+pub struct PaVodPeer {
+    node: NodeId,
+    catalog: Arc<Catalog>,
+    config: PaVodConfig,
+    online: bool,
+    /// The video currently held (id, chunks downloaded).
+    holding: Option<(VideoId, u32)>,
+    transfers: HashMap<RequestId, Transfer>,
+    next_request: u32,
+}
+
+impl PaVodPeer {
+    /// Creates an offline PA-VoD peer.
+    pub fn new(node: NodeId, catalog: Arc<Catalog>, config: PaVodConfig) -> Self {
+        Self {
+            node,
+            catalog,
+            config,
+            online: false,
+            holding: None,
+            transfers: HashMap::new(),
+            next_request: 0,
+        }
+    }
+
+    fn fresh_request(&mut self) -> RequestId {
+        let id = RequestId::new(self.node, self.next_request);
+        self.next_request = self.next_request.wrapping_add(1);
+        id
+    }
+
+    fn total_chunks(&self, video: VideoId) -> u32 {
+        self.catalog
+            .video(video)
+            .map(|v| v.chunk_count())
+            .unwrap_or(1)
+    }
+
+    fn chunk_bits(&self, video: VideoId) -> u64 {
+        self.catalog
+            .video(video)
+            .map(|v| v.chunk_size_bits())
+            .unwrap_or(0)
+    }
+
+    fn try_next_candidate(&mut self, id: RequestId, out: &mut Outbox) {
+        let Some(t) = self.transfers.get_mut(&id) else {
+            return;
+        };
+        let video = t.video;
+        let from_chunk = t.received;
+        if let Some(candidate) = t.candidates.pop() {
+            t.provider = Some(candidate);
+            out.to_peer(
+                candidate,
+                Message::ChunkRequest {
+                    id,
+                    video,
+                    from_chunk,
+                    kind: TransferKind::Playback,
+                },
+            );
+            out.timer(self.config.chunk_timeout, TimerKind::ChunkDeadline { id });
+        } else {
+            t.provider = None;
+            t.went_to_server = true;
+            out.report(Report::ServerFallback {
+                node: self.node,
+                video,
+            });
+            out.to_server(Message::VideoRequest {
+                id,
+                video,
+                from_chunk,
+                kind: TransferKind::Playback,
+            });
+        }
+    }
+}
+
+impl VodPeer for PaVodPeer {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn on_login(&mut self, _now: SimTime, _out: &mut Outbox) {
+        self.online = true;
+    }
+
+    fn on_logout(&mut self, _now: SimTime, out: &mut Outbox) {
+        self.online = false;
+        if let Some((video, _)) = self.holding.take() {
+            out.to_server(Message::WatchStopped { video });
+        }
+        out.to_server(Message::LogOff);
+        self.transfers.clear();
+    }
+
+    fn watch(&mut self, now: SimTime, video: VideoId, out: &mut Outbox) {
+        debug_assert!(self.online, "watch() on an offline peer");
+        // Moving on: the previous video is dropped and no longer provided.
+        if let Some((previous, _)) = self.holding.take() {
+            out.to_server(Message::WatchStopped { video: previous });
+        }
+        self.holding = Some((video, 0));
+        let id = self.fresh_request();
+        self.transfers.insert(
+            id,
+            Transfer {
+                video,
+                requested_at: now,
+                candidates: Vec::new(),
+                provider: None,
+                playback_reported: false,
+                received: 0,
+                went_to_server: false,
+            },
+        );
+        out.to_server(Message::ProviderLookup { id, video });
+        out.timer(
+            self.config.lookup_timeout,
+            TimerKind::SearchDeadline {
+                id,
+                phase: SearchPhase::Server,
+            },
+        );
+    }
+
+    fn on_message(&mut self, now: SimTime, from: PeerAddr, msg: Message, out: &mut Outbox) {
+        if !self.online {
+            return;
+        }
+        match msg {
+            Message::ProviderList { id, providers, .. } => {
+                let Some(t) = self.transfers.get_mut(&id) else {
+                    return;
+                };
+                if t.provider.is_some() || t.went_to_server {
+                    return;
+                }
+                t.candidates = providers;
+                t.candidates.truncate(self.config.providers_per_lookup);
+                t.candidates.reverse(); // pop() tries them in server order
+                self.try_next_candidate(id, out);
+            }
+
+            Message::ChunkRequest {
+                id,
+                video,
+                from_chunk,
+                ..
+            } => {
+                let PeerAddr::Peer(requester) = from else {
+                    return;
+                };
+                let total = self.total_chunks(video);
+                let have_full =
+                    matches!(self.holding, Some((v, chunks)) if v == video && chunks >= total);
+                if !have_full {
+                    out.to_peer(requester, Message::ChunkUnavailable { id, video });
+                    return;
+                }
+                let bits = self.chunk_bits(video);
+                for chunk in from_chunk..total {
+                    out.to_peer(
+                        requester,
+                        Message::ChunkData {
+                            id,
+                            video,
+                            chunk,
+                            bits,
+                            kind: TransferKind::Playback,
+                        },
+                    );
+                }
+            }
+
+            Message::ChunkData {
+                id,
+                video,
+                chunk,
+                bits,
+                ..
+            } => {
+                let source = match from {
+                    PeerAddr::Peer(_) => ChunkSource::Peer,
+                    PeerAddr::Server => ChunkSource::Server,
+                };
+                out.report(Report::ChunkReceived {
+                    node: self.node,
+                    video,
+                    bits,
+                    source,
+                    kind: TransferKind::Playback,
+                });
+                if let Some((held, chunks)) = &mut self.holding {
+                    if *held == video {
+                        *chunks = (*chunks).max(chunk + 1);
+                    }
+                }
+                let total = self.total_chunks(video);
+                let mut finished = false;
+                if let Some(t) = self.transfers.get_mut(&id) {
+                    t.received = t.received.max(chunk + 1);
+                    if !t.playback_reported && chunk == 0 {
+                        t.playback_reported = true;
+                        out.report(Report::PlaybackStarted {
+                            node: self.node,
+                            video,
+                            requested_at: t.requested_at,
+                            source,
+                        });
+                    }
+                    finished = t.received >= total;
+                }
+                if finished {
+                    self.transfers.remove(&id);
+                    // Fully downloaded: now a provider until the next watch.
+                    out.to_server(Message::WatchStarted { video });
+                }
+            }
+
+            Message::ChunkUnavailable { id, .. } if self.transfers.contains_key(&id) => {
+                self.try_next_candidate(id, out);
+            }
+
+            _ => {}
+        }
+        let _ = now;
+    }
+
+    fn on_timer(&mut self, _now: SimTime, timer: TimerKind, out: &mut Outbox) {
+        if !self.online {
+            return;
+        }
+        match timer {
+            TimerKind::SearchDeadline { id, .. } => {
+                // The provider list never arrived: go straight to the server.
+                let stalled = self
+                    .transfers
+                    .get(&id)
+                    .is_some_and(|t| t.provider.is_none() && !t.went_to_server && t.received == 0);
+                if stalled {
+                    if let Some(t) = self.transfers.get_mut(&id) {
+                        t.candidates.clear();
+                    }
+                    self.try_next_candidate(id, out);
+                }
+            }
+            TimerKind::ChunkDeadline { id } => {
+                let stalled = self.transfers.get(&id).is_some_and(|t| !t.went_to_server);
+                if stalled {
+                    self.try_next_candidate(id, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn link_count(&self) -> usize {
+        // PA-VoD maintains no overlay; only transient transfer connections.
+        self.transfers
+            .values()
+            .filter(|t| t.provider.is_some())
+            .count()
+    }
+
+    fn is_online(&self) -> bool {
+        self.online
+    }
+
+    fn has_cached(&self, video: VideoId) -> bool {
+        let total = self.total_chunks(video);
+        matches!(self.holding, Some((v, chunks)) if v == video && chunks >= total)
+    }
+}
+
+/// The PA-VoD server: tracks which online peers currently hold each video
+/// and serves everything peers cannot.
+#[derive(Debug)]
+pub struct PaVodServer {
+    catalog: Arc<Catalog>,
+    /// Peers currently holding (fully downloaded, still watching) a video.
+    watching: HashMap<VideoId, Vec<NodeId>>,
+    providers_per_lookup: usize,
+    rng: SimRng,
+}
+
+impl PaVodServer {
+    /// Creates a server over `catalog`.
+    pub fn new(catalog: Arc<Catalog>, rng: SimRng) -> Self {
+        Self {
+            catalog,
+            watching: HashMap::new(),
+            providers_per_lookup: PaVodConfig::default().providers_per_lookup,
+            rng,
+        }
+    }
+
+    /// Current provider count for `video` (tests and diagnostics).
+    pub fn providers_of(&self, video: VideoId) -> usize {
+        self.watching.get(&video).map_or(0, Vec::len)
+    }
+}
+
+impl VodServer for PaVodServer {
+    fn on_message(&mut self, _now: SimTime, from: NodeId, msg: Message, out: &mut ServerOutbox) {
+        match msg {
+            Message::ProviderLookup { id, video } => {
+                let candidates: Vec<NodeId> = self
+                    .watching
+                    .get(&video)
+                    .map(|v| v.iter().copied().filter(|n| *n != from).collect())
+                    .unwrap_or_default();
+                let providers = self
+                    .rng
+                    .pick_distinct(&candidates, self.providers_per_lookup);
+                out.to_peer(
+                    from,
+                    Message::ProviderList {
+                        id,
+                        video,
+                        providers,
+                    },
+                );
+            }
+
+            Message::WatchStarted { video } => {
+                let watchers = self.watching.entry(video).or_default();
+                if !watchers.contains(&from) {
+                    watchers.push(from);
+                }
+            }
+
+            Message::WatchStopped { video } => {
+                if let Some(watchers) = self.watching.get_mut(&video) {
+                    watchers.retain(|n| *n != from);
+                }
+            }
+
+            Message::LogOff => {
+                for watchers in self.watching.values_mut() {
+                    watchers.retain(|n| *n != from);
+                }
+            }
+
+            Message::VideoRequest {
+                id,
+                video,
+                from_chunk,
+                kind,
+            } => {
+                if self.catalog.video(video).is_err() {
+                    return;
+                }
+                out.report(Report::ServedFromOrigin { node: from, video });
+                out.serve_chunks(from, id, video, from_chunk, kind);
+            }
+
+            _ => {}
+        }
+    }
+
+    fn tracked_entries(&self) -> usize {
+        self.watching.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialtube::Command;
+    use socialtube_model::CatalogBuilder;
+
+    fn fixture() -> (Arc<Catalog>, VideoId) {
+        let mut b = CatalogBuilder::new();
+        let cat = b.add_category("k");
+        let ch = b.add_channel("c", [cat]);
+        let v = b.add_video(ch, 100, 0);
+        (Arc::new(b.build()), v)
+    }
+
+    fn server_msgs(out: &Outbox) -> Vec<&Message> {
+        out.commands()
+            .iter()
+            .filter_map(|c| match c {
+                Command::ToServer { msg } => Some(msg),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn watch_asks_server_for_providers() {
+        let (catalog, v) = fixture();
+        let mut p = PaVodPeer::new(NodeId::new(0), catalog, PaVodConfig::default());
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.watch(SimTime::ZERO, v, &mut out);
+        assert!(server_msgs(&out)
+            .iter()
+            .any(|m| matches!(m, Message::ProviderLookup { .. })));
+    }
+
+    #[test]
+    fn empty_provider_list_falls_back_to_server() {
+        let (catalog, v) = fixture();
+        let mut p = PaVodPeer::new(NodeId::new(0), catalog, PaVodConfig::default());
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.watch(SimTime::ZERO, v, &mut out);
+        out.drain();
+        let id = RequestId::new(NodeId::new(0), 0);
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Server,
+            Message::ProviderList {
+                id,
+                video: v,
+                providers: vec![],
+            },
+            &mut out,
+        );
+        assert!(server_msgs(&out)
+            .iter()
+            .any(|m| matches!(m, Message::VideoRequest { .. })));
+    }
+
+    #[test]
+    fn provider_chain_falls_through_candidates_then_server() {
+        let (catalog, v) = fixture();
+        let mut p = PaVodPeer::new(NodeId::new(0), catalog, PaVodConfig::default());
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.watch(SimTime::ZERO, v, &mut out);
+        out.drain();
+        let id = RequestId::new(NodeId::new(0), 0);
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Server,
+            Message::ProviderList {
+                id,
+                video: v,
+                providers: vec![NodeId::new(1), NodeId::new(2)],
+            },
+            &mut out,
+        );
+        // First candidate tried in order.
+        assert!(out.commands().iter().any(|c| matches!(
+            c,
+            Command::ToPeer { to, msg: Message::ChunkRequest { .. } } if *to == NodeId::new(1)
+        )));
+        out.drain();
+        // It says unavailable: try next.
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(1)),
+            Message::ChunkUnavailable { id, video: v },
+            &mut out,
+        );
+        assert!(out.commands().iter().any(|c| matches!(
+            c,
+            Command::ToPeer { to, msg: Message::ChunkRequest { .. } } if *to == NodeId::new(2)
+        )));
+        out.drain();
+        // Second also fails: server fallback.
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(2)),
+            Message::ChunkUnavailable { id, video: v },
+            &mut out,
+        );
+        assert!(server_msgs(&out)
+            .iter()
+            .any(|m| matches!(m, Message::VideoRequest { .. })));
+    }
+
+    #[test]
+    fn finishing_a_video_registers_as_provider_until_next_watch() {
+        let (catalog, v) = fixture();
+        let mut p = PaVodPeer::new(NodeId::new(0), Arc::clone(&catalog), PaVodConfig::default());
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.watch(SimTime::ZERO, v, &mut out);
+        out.drain();
+        let id = RequestId::new(NodeId::new(0), 0);
+        let total = catalog.video(v).unwrap().chunk_count();
+        for chunk in 0..total {
+            p.on_message(
+                SimTime::ZERO,
+                PeerAddr::Server,
+                Message::ChunkData {
+                    id,
+                    video: v,
+                    chunk,
+                    bits: 10,
+                    kind: TransferKind::Playback,
+                },
+                &mut out,
+            );
+        }
+        assert!(p.has_cached(v));
+        assert!(server_msgs(&out)
+            .iter()
+            .any(|m| matches!(m, Message::WatchStarted { .. })));
+        out.drain();
+        // Serving while holding.
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(9)),
+            Message::ChunkRequest {
+                id: RequestId::new(NodeId::new(9), 0),
+                video: v,
+                from_chunk: 0,
+                kind: TransferKind::Playback,
+            },
+            &mut out,
+        );
+        let served = out
+            .commands()
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c,
+                    Command::ToPeer {
+                        msg: Message::ChunkData { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(served as u32, total);
+        out.drain();
+        // Next watch drops the held video.
+        p.watch(SimTime::from_micros(1), v, &mut out);
+        assert!(server_msgs(&out)
+            .iter()
+            .any(|m| matches!(m, Message::WatchStopped { .. })));
+        assert!(!p.has_cached(v), "PA-VoD does not cache past videos");
+    }
+
+    #[test]
+    fn server_tracks_watchers() {
+        let (catalog, v) = fixture();
+        let mut s = PaVodServer::new(catalog, SimRng::seed(1));
+        let mut out = ServerOutbox::new();
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(1),
+            Message::WatchStarted { video: v },
+            &mut out,
+        );
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(2),
+            Message::WatchStarted { video: v },
+            &mut out,
+        );
+        assert_eq!(s.providers_of(v), 2);
+        assert_eq!(s.tracked_entries(), 2);
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(1),
+            Message::WatchStopped { video: v },
+            &mut out,
+        );
+        assert_eq!(s.providers_of(v), 1);
+        s.on_message(SimTime::ZERO, NodeId::new(2), Message::LogOff, &mut out);
+        assert_eq!(s.providers_of(v), 0);
+    }
+
+    #[test]
+    fn server_lookup_excludes_requester() {
+        let (catalog, v) = fixture();
+        let mut s = PaVodServer::new(catalog, SimRng::seed(1));
+        let mut out = ServerOutbox::new();
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(1),
+            Message::WatchStarted { video: v },
+            &mut out,
+        );
+        out.drain();
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(1),
+            Message::ProviderLookup {
+                id: RequestId::new(NodeId::new(1), 0),
+                video: v,
+            },
+            &mut out,
+        );
+        let providers = out
+            .commands()
+            .iter()
+            .find_map(|c| match c {
+                socialtube::ServerCommand::ToPeer {
+                    msg: Message::ProviderList { providers, .. },
+                    ..
+                } => Some(providers.clone()),
+                _ => None,
+            })
+            .expect("provider list");
+        assert!(providers.is_empty());
+    }
+
+    #[test]
+    fn lookup_timeout_forces_server_service() {
+        let (catalog, v) = fixture();
+        let mut p = PaVodPeer::new(NodeId::new(0), catalog, PaVodConfig::default());
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.watch(SimTime::ZERO, v, &mut out);
+        out.drain();
+        let id = RequestId::new(NodeId::new(0), 0);
+        p.on_timer(
+            SimTime::from_micros(1),
+            TimerKind::SearchDeadline {
+                id,
+                phase: SearchPhase::Server,
+            },
+            &mut out,
+        );
+        assert!(server_msgs(&out)
+            .iter()
+            .any(|m| matches!(m, Message::VideoRequest { .. })));
+    }
+
+    #[test]
+    fn pavod_maintains_no_persistent_links() {
+        let (catalog, v) = fixture();
+        let mut p = PaVodPeer::new(NodeId::new(0), Arc::clone(&catalog), PaVodConfig::default());
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        assert_eq!(p.link_count(), 0);
+        p.watch(SimTime::ZERO, v, &mut out);
+        assert_eq!(p.link_count(), 0, "no links until a provider is engaged");
+    }
+}

@@ -1,0 +1,84 @@
+//! Benchmarks of the wire codec used by the TCP testbed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use socialtube::{Message, QueryScope, RequestId, TransferKind};
+use socialtube_model::{ChannelId, NodeId, VideoId};
+use socialtube_net::{decode_frame, encode_frame, Frame};
+
+fn sample_messages() -> Vec<Frame> {
+    let id = RequestId::new(NodeId::new(7), 3);
+    vec![
+        Frame::Msg(Message::Query {
+            id,
+            video: VideoId::new(1),
+            ttl: 2,
+            origin: NodeId::new(7),
+            scope: QueryScope::Channel(ChannelId::new(4)),
+        }),
+        Frame::Msg(Message::ChunkData {
+            id,
+            video: VideoId::new(1),
+            chunk: 3,
+            bits: 7_200_000,
+            kind: TransferKind::Playback,
+        }),
+        Frame::Msg(Message::PopularityDigest {
+            channel: ChannelId::new(1),
+            ranked: (0..100).map(VideoId::new).collect(),
+        }),
+        Frame::Msg(Message::SubscriptionUpdate {
+            subscribed: (0..12).map(ChannelId::new).collect(),
+        }),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let frames = sample_messages();
+    let mut group = c.benchmark_group("codec/encode");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.bench_function("mixed_frames", |b| {
+        b.iter(|| {
+            for f in &frames {
+                black_box(encode_frame(f));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let encoded: Vec<Vec<u8>> = sample_messages()
+        .iter()
+        .map(|f| encode_frame(f)[4..].to_vec())
+        .collect();
+    let mut group = c.benchmark_group("codec/decode");
+    group.throughput(Throughput::Elements(encoded.len() as u64));
+    group.bench_function("mixed_frames", |b| {
+        b.iter(|| {
+            for payload in &encoded {
+                black_box(decode_frame(payload).expect("valid frame"));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    let frame = Frame::Msg(Message::PopularityDigest {
+        channel: ChannelId::new(1),
+        ranked: (0..1_000).map(VideoId::new).collect(),
+    });
+    c.bench_function("codec/round_trip_1k_digest", |b| {
+        b.iter(|| {
+            let bytes = encode_frame(black_box(&frame));
+            black_box(decode_frame(&bytes[4..]).expect("valid frame"))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_encode, bench_decode, bench_round_trip
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Benchmarks of the discrete-event engine (the PeerSim substitute).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use socialtube_sim::{Engine, EventQueue, LatencyModel, ServerQueue, SimDuration, SimRng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/event_queue");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("push_pop_100k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..100_000u64 {
+                // Reversed times exercise heap reordering.
+                q.push(SimTime::from_micros(100_000 - i), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_engine_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/dispatch");
+    group.throughput(Throughput::Elements(1_000_000));
+    group.bench_function("self_rescheduling_1m_events", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u32> = Engine::new();
+            engine.schedule_at(SimTime::ZERO, 1_000_000u32);
+            let mut count = 0u64;
+            while let Some((_, left)) = engine.next_event() {
+                count += 1;
+                if left > 0 {
+                    engine.schedule_in(SimDuration::from_micros(1), left - 1);
+                }
+            }
+            black_box(count)
+        })
+    });
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let latency = LatencyModel::planetlab(&SimRng::seed(1));
+    c.bench_function("engine/latency_lookup", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(latency.delay(i % 10_000, (i / 7) % 10_000))
+        })
+    });
+    c.bench_function("engine/server_queue_serve", |b| {
+        let mut q = ServerQueue::new(1_000_000_000);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_micros(10);
+            black_box(q.serve(t, 57_600))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_event_queue, bench_engine_loop, bench_models
+}
+criterion_main!(benches);

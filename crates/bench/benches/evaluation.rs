@@ -1,0 +1,52 @@
+//! End-to-end benchmarks: one per evaluation figure, measuring the cost of
+//! regenerating that figure's data at test scale. (Shape verification lives
+//! in the `figures` binary and the test suites; these benches track the
+//! wall-clock cost of the machinery itself.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use socialtube_experiments::figures as xfig;
+use socialtube_experiments::{configs, run_simulation, Protocol};
+use socialtube_trace::{analysis, generate, TraceConfig};
+
+fn bench_trace_figures(c: &mut Criterion) {
+    let trace = generate(&TraceConfig::tiny(), 42);
+    c.bench_function("figure/fig2_video_growth", |b| {
+        b.iter(|| black_box(analysis::video_growth(&trace)))
+    });
+    c.bench_function("figure/fig9_within_channel", |b| {
+        b.iter(|| black_box(analysis::within_channel_popularity(&trace)))
+    });
+    c.bench_function("figure/fig13_interest_counts", |b| {
+        b.iter(|| black_box(analysis::user_interest_count(&trace)))
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    c.bench_function("figure/fig15_analytical", |b| {
+        b.iter(|| black_box(xfig::fig15()))
+    });
+}
+
+fn bench_simulation_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure/simulation");
+    group.sample_size(10);
+    let options = {
+        let mut o = configs::smoke_test();
+        o.trace.users = 100;
+        o.workload.sessions_per_node = 1;
+        o
+    };
+    for protocol in [Protocol::SocialTube, Protocol::NetTube, Protocol::PaVod] {
+        group.bench_function(format!("run_{protocol}"), |b| {
+            b.iter(|| black_box(run_simulation(protocol, &options)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trace_figures, bench_fig15, bench_simulation_runs
+}
+criterion_main!(benches);

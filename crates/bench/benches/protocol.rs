@@ -1,0 +1,156 @@
+//! Benchmarks of the SocialTube protocol hot paths: query forwarding,
+//! chunk serving, neighbor-table operations and prefetch decisions.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use socialtube::{
+    LinkKind, Message, NeighborTable, Outbox, PeerAddr, QueryScope, RequestId, SocialTubeConfig,
+    SocialTubePeer, TimerKind, TransferKind, VodPeer,
+};
+use socialtube_model::{Catalog, CatalogBuilder, ChannelId, NodeId, VideoId};
+use socialtube_sim::SimTime;
+
+fn fixture() -> (Arc<Catalog>, ChannelId, Vec<VideoId>) {
+    let mut b = CatalogBuilder::new();
+    let cat = b.add_category("k");
+    let ch = b.add_channel("c", [cat]);
+    let vids: Vec<VideoId> = (0..40)
+        .map(|i| {
+            let v = b.add_video(ch, 120, i);
+            b.set_views(v, 10_000 / u64::from(i + 1));
+            v
+        })
+        .collect();
+    (Arc::new(b.build()), ch, vids)
+}
+
+fn warm_peer() -> (SocialTubePeer, ChannelId, Vec<VideoId>) {
+    let (catalog, ch, vids) = fixture();
+    let mut peer = SocialTubePeer::new(
+        NodeId::new(0),
+        Arc::clone(&catalog),
+        vec![ch],
+        SocialTubeConfig::default(),
+    );
+    let mut out = Outbox::new();
+    peer.on_login(SimTime::ZERO, &mut out);
+    // Populate the neighbor table via incoming connects.
+    for i in 1..=5 {
+        peer.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(i)),
+            Message::ConnectRequest {
+                kind: LinkKind::Inner,
+                channel: Some(ch),
+                video: None,
+            },
+            &mut out,
+        );
+    }
+    out.drain();
+    (peer, ch, vids)
+}
+
+fn bench_query_forwarding(c: &mut Criterion) {
+    let (mut peer, ch, vids) = warm_peer();
+    // Seed the current channel so inner links classify.
+    let mut out = Outbox::new();
+    peer.watch(SimTime::ZERO, vids[0], &mut out);
+    out.drain();
+    let mut counter = 0u32;
+    c.bench_function("protocol/query_forward", |b| {
+        b.iter(|| {
+            counter = counter.wrapping_add(1);
+            let query = Message::Query {
+                id: RequestId::new(NodeId::new(99), counter),
+                video: vids[(counter as usize) % vids.len()],
+                ttl: 2,
+                origin: NodeId::new(99),
+                scope: QueryScope::Channel(ch),
+            };
+            peer.on_message(
+                SimTime::ZERO,
+                PeerAddr::Peer(NodeId::new(1)),
+                query,
+                &mut out,
+            );
+            black_box(out.drain())
+        })
+    });
+}
+
+fn bench_chunk_serving(c: &mut Criterion) {
+    let (mut peer, _, vids) = warm_peer();
+    let mut out = Outbox::new();
+    // Fill the cache with every video (the provider role).
+    for (i, v) in vids.iter().enumerate() {
+        peer.on_message(
+            SimTime::ZERO,
+            PeerAddr::Server,
+            Message::ChunkData {
+                id: RequestId::new(NodeId::new(0), i as u32),
+                video: *v,
+                chunk: 7,
+                bits: 100,
+                kind: TransferKind::Playback,
+            },
+            &mut out,
+        );
+    }
+    out.drain();
+    let mut i = 0usize;
+    c.bench_function("protocol/serve_chunk_request", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            peer.on_message(
+                SimTime::ZERO,
+                PeerAddr::Peer(NodeId::new(42)),
+                Message::ChunkRequest {
+                    id: RequestId::new(NodeId::new(42), i as u32),
+                    video: vids[i % vids.len()],
+                    from_chunk: 0,
+                    kind: TransferKind::Playback,
+                },
+                &mut out,
+            );
+            black_box(out.drain())
+        })
+    });
+}
+
+fn bench_neighbor_table(c: &mut Criterion) {
+    c.bench_function("protocol/neighbor_table_churn", |b| {
+        b.iter(|| {
+            let mut t = NeighborTable::new(5, 10);
+            t.set_current_channel(Some(ChannelId::new(0)));
+            for i in 0..200u32 {
+                t.try_add(NodeId::new(i), Some(ChannelId::new(i % 4)));
+                if i % 3 == 0 {
+                    t.remove(NodeId::new(i / 2));
+                }
+            }
+            black_box((t.inner().len(), t.inter().len()))
+        })
+    });
+}
+
+fn bench_prefetch_decision(c: &mut Criterion) {
+    let (mut peer, _, vids) = warm_peer();
+    let mut out = Outbox::new();
+    peer.watch(SimTime::ZERO, vids[0], &mut out);
+    out.drain();
+    c.bench_function("protocol/prefetch_kick", |b| {
+        b.iter(|| {
+            peer.on_timer(SimTime::ZERO, TimerKind::PrefetchKick, &mut out);
+            black_box(out.drain())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_query_forwarding, bench_chunk_serving, bench_neighbor_table, bench_prefetch_decision
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Benchmarks of the synthetic-trace substrate: generation (the paper's
+//! crawl stand-in) and the Section III analysis functions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use socialtube_trace::{analysis, crawl, generate, TraceConfig};
+
+fn bench_generate(c: &mut Criterion) {
+    let tiny = TraceConfig::tiny();
+    c.bench_function("trace/generate/tiny(200u,400v)", |b| {
+        b.iter(|| generate(black_box(&tiny), 42))
+    });
+    let mid = TraceConfig {
+        users: 2_000,
+        channels: 109,
+        videos: 2_024,
+        ..TraceConfig::default()
+    };
+    c.bench_function("trace/generate/figure(2000u,2024v)", |b| {
+        b.iter(|| generate(black_box(&mid), 42))
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let trace = generate(&TraceConfig::default(), 42);
+    c.bench_function("trace/fig3_channel_view_frequency", |b| {
+        b.iter(|| analysis::channel_view_frequency(black_box(&trace)))
+    });
+    c.bench_function("trace/fig7_video_view_distribution", |b| {
+        b.iter(|| analysis::video_view_distribution(black_box(&trace)))
+    });
+    c.bench_function("trace/fig10_channel_clustering", |b| {
+        b.iter(|| analysis::channel_clustering(black_box(&trace), 25))
+    });
+    c.bench_function("trace/fig12_interest_similarity", |b| {
+        b.iter(|| analysis::interest_similarity(black_box(&trace)))
+    });
+}
+
+fn bench_crawl(c: &mut Criterion) {
+    let trace = generate(&TraceConfig::default(), 42);
+    c.bench_function("trace/bfs_crawl/2000users", |b| {
+        b.iter(|| crawl(black_box(&trace), 2_000, 7))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generate, bench_analysis, bench_crawl
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Benchmarks and figure regeneration for the SocialTube reproduction.
+//!
+//! * `src/bin/figures.rs` — regenerates **every table and figure** of the
+//!   paper (Table I, Figs 2–13, 15, 16a/b, 17a/b, 18a/b, the prefetch
+//!   analysis) plus the ablation studies, writing CSV series to
+//!   `target/figures/` and printing paper-versus-measured summaries.
+//! * `benches/` — Criterion micro-benchmarks of the building blocks:
+//!   trace generation and analysis, the event engine, overlay/search
+//!   handling, and the wire codec.
+//!
+//! Run `cargo run -p socialtube-bench --bin figures -- all` for the whole
+//! evaluation, or name an individual target (`fig16a`, `fig9`, ...).
+
+pub mod csv;
+
+pub use csv::CsvWriter;

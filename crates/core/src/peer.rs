@@ -1,0 +1,1814 @@
+//! The SocialTube peer state machine.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use socialtube_model::{Catalog, CategoryId, ChannelId, ChunkIndex, NodeId, VideoId};
+use socialtube_sim::SimTime;
+
+use crate::cache::VideoCache;
+use crate::config::SocialTubeConfig;
+use crate::messages::{LinkKind, Message, PeerAddr, QueryScope, RequestId};
+use crate::neighbors::NeighborTable;
+use crate::traits::{ChunkSource, Outbox, Report, SearchPhase, TimerKind, TransferKind, VodPeer};
+
+/// One in-flight video request (search and transfer), Algorithm 1 state.
+#[derive(Clone, Debug)]
+struct Search {
+    video: VideoId,
+    kind: TransferKind,
+    phase: SearchPhase,
+    requested_at: SimTime,
+    provider: Option<NodeId>,
+    from_chunk: ChunkIndex,
+    playback_reported: bool,
+}
+
+/// A SocialTube peer: joins the two-level community overlay, searches
+/// channel-then-category-then-server, caches watched videos, and prefetches
+/// popular channel videos (Section IV).
+///
+/// The peer is a pure state machine — see the crate docs for the driver
+/// contract. All constructor inputs are immutable catalog/profile data; all
+/// protocol state lives inside.
+#[derive(Debug)]
+pub struct SocialTubePeer {
+    node: NodeId,
+    catalog: Arc<Catalog>,
+    subscriptions: Vec<ChannelId>,
+    config: SocialTubeConfig,
+
+    online: bool,
+    current_channel: Option<ChannelId>,
+    current_video: Option<VideoId>,
+    neighbors: NeighborTable,
+    cache: VideoCache,
+
+    searches: HashMap<RequestId, Search>,
+    seen_queries: HashSet<RequestId>,
+    seen_order: VecDeque<RequestId>,
+    digests: HashMap<ChannelId, Vec<VideoId>>,
+    /// Outstanding probes / reconnects: nonce → neighbor.
+    pending_probes: HashMap<u64, NodeId>,
+
+    next_request: u32,
+    next_nonce: u64,
+}
+
+/// Bound on the duplicate-suppression window for flooded queries.
+const SEEN_QUERY_WINDOW: usize = 512;
+
+impl SocialTubePeer {
+    /// Creates an offline peer for `node`, subscribed to `subscriptions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn new(
+        node: NodeId,
+        catalog: Arc<Catalog>,
+        subscriptions: Vec<ChannelId>,
+        config: SocialTubeConfig,
+    ) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid SocialTube config: {e}"));
+        let neighbors = NeighborTable::new(config.inner_links, config.inter_links);
+        let cache = VideoCache::from_config(config.cache_capacity);
+        Self {
+            node,
+            catalog,
+            subscriptions,
+            config,
+            online: false,
+            current_channel: None,
+            current_video: None,
+            neighbors,
+            cache,
+            searches: HashMap::new(),
+            seen_queries: HashSet::new(),
+            seen_order: VecDeque::new(),
+            digests: HashMap::new(),
+            pending_probes: HashMap::new(),
+            next_request: 0,
+            next_nonce: 0,
+        }
+    }
+
+    /// The channels this peer subscribes to.
+    pub fn subscriptions(&self) -> &[ChannelId] {
+        &self.subscriptions
+    }
+
+    /// The channel currently being watched, if any.
+    pub fn current_channel(&self) -> Option<ChannelId> {
+        self.current_channel
+    }
+
+    /// Read-only view of the neighbor table (tests and diagnostics).
+    pub fn neighbors(&self) -> &NeighborTable {
+        &self.neighbors
+    }
+
+    /// Read-only view of the cache (tests and diagnostics).
+    pub fn cache(&self) -> &VideoCache {
+        &self.cache
+    }
+
+    /// Number of in-flight searches (tests and diagnostics).
+    pub fn active_searches(&self) -> usize {
+        self.searches.len()
+    }
+
+    /// Subscribes to `channel` and reports the change to the server
+    /// ("users should report their changes of subscribed channels",
+    /// Section IV-A). Idempotent; no-op while offline (the next login's
+    /// `SubscriptionUpdate` carries the new set anyway).
+    pub fn subscribe(&mut self, channel: ChannelId, out: &mut Outbox) {
+        if self.subscriptions.contains(&channel) {
+            return;
+        }
+        self.subscriptions.push(channel);
+        if self.online {
+            out.to_server(Message::SubscriptionUpdate {
+                subscribed: self.subscriptions.clone(),
+            });
+        }
+    }
+
+    /// Unsubscribes from `channel`, reports the change, and sheds links
+    /// that only the subscription justified keeping.
+    pub fn unsubscribe(&mut self, channel: ChannelId, out: &mut Outbox) {
+        let before = self.subscriptions.len();
+        self.subscriptions.retain(|c| *c != channel);
+        if self.subscriptions.len() == before {
+            return;
+        }
+        if self.online {
+            out.to_server(Message::SubscriptionUpdate {
+                subscribed: self.subscriptions.clone(),
+            });
+            let subscribed = self.subscriptions.clone();
+            for dropped in self
+                .neighbors
+                .shed_out_of_community(&self.catalog, &subscribed)
+            {
+                out.to_peer(dropped, Message::Leave);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ helpers
+
+    fn fresh_request(&mut self) -> RequestId {
+        let id = RequestId::new(self.node, self.next_request);
+        self.next_request = self.next_request.wrapping_add(1);
+        id
+    }
+
+    fn fresh_nonce(&mut self) -> u64 {
+        self.next_nonce = self.next_nonce.wrapping_add(1);
+        self.next_nonce
+    }
+
+    fn total_chunks(&self, video: VideoId) -> u32 {
+        self.catalog
+            .video(video)
+            .map(|v| v.chunk_count())
+            .unwrap_or(1)
+    }
+
+    fn chunk_bits(&self, video: VideoId) -> u64 {
+        self.catalog
+            .video(video)
+            .map(|v| v.chunk_size_bits())
+            .unwrap_or(0)
+    }
+
+    fn video_category(&self, video: VideoId) -> Option<CategoryId> {
+        self.catalog.video_category(video).ok().flatten()
+    }
+
+    fn mark_seen(&mut self, id: RequestId) -> bool {
+        if !self.seen_queries.insert(id) {
+            return false;
+        }
+        self.seen_order.push_back(id);
+        while self.seen_order.len() > SEEN_QUERY_WINDOW {
+            if let Some(old) = self.seen_order.pop_front() {
+                self.seen_queries.remove(&old);
+            }
+        }
+        true
+    }
+
+    /// Starts (or advances) the community search for an active request.
+    fn run_phase(&mut self, now: SimTime, id: RequestId, out: &mut Outbox) {
+        let Some(search) = self.searches.get(&id).cloned() else {
+            return;
+        };
+        match search.phase {
+            SearchPhase::Channel => {
+                let inner = self.neighbors.inner();
+                if inner.is_empty() {
+                    self.advance_phase(now, id, out);
+                    return;
+                }
+                let scope =
+                    QueryScope::Channel(self.current_channel.expect("channel set before search"));
+                for n in inner {
+                    out.to_peer(
+                        n,
+                        Message::Query {
+                            id,
+                            video: search.video,
+                            ttl: self.config.ttl,
+                            origin: self.node,
+                            scope,
+                        },
+                    );
+                }
+                out.timer(
+                    self.config.search_phase_timeout,
+                    TimerKind::SearchDeadline {
+                        id,
+                        phase: SearchPhase::Channel,
+                    },
+                );
+            }
+            SearchPhase::Category => {
+                let inter = self.neighbors.inter();
+                let category = self.video_category(search.video);
+                if inter.is_empty() || category.is_none() {
+                    self.advance_phase(now, id, out);
+                    return;
+                }
+                let scope = QueryScope::Category(category.expect("checked above"));
+                for n in inter {
+                    out.to_peer(
+                        n,
+                        Message::Query {
+                            id,
+                            video: search.video,
+                            ttl: self.config.ttl,
+                            origin: self.node,
+                            scope,
+                        },
+                    );
+                }
+                out.timer(
+                    self.config.search_phase_timeout,
+                    TimerKind::SearchDeadline {
+                        id,
+                        phase: SearchPhase::Category,
+                    },
+                );
+            }
+            SearchPhase::Server => {
+                if search.kind == TransferKind::Playback {
+                    out.report(Report::ServerFallback {
+                        node: self.node,
+                        video: search.video,
+                    });
+                }
+                out.to_server(Message::VideoRequest {
+                    id,
+                    video: search.video,
+                    from_chunk: search.from_chunk,
+                    kind: search.kind,
+                });
+            }
+        }
+    }
+
+    fn advance_phase(&mut self, now: SimTime, id: RequestId, out: &mut Outbox) {
+        let next = {
+            let Some(search) = self.searches.get_mut(&id) else {
+                return;
+            };
+            if search.provider.is_some() {
+                return; // a hit already claimed this search
+            }
+            match (search.phase, search.kind) {
+                (SearchPhase::Channel, TransferKind::Playback) => {
+                    search.phase = SearchPhase::Category;
+                }
+                (SearchPhase::Channel, TransferKind::Prefetch) => {
+                    // Prefetches are opportunistic community transfers: a
+                    // miss is dropped, never amplified into category floods
+                    // or origin load (symmetric with NetTube's
+                    // neighbor-cache prefetching).
+                    self.searches.remove(&id);
+                    return;
+                }
+                (SearchPhase::Category, _) => search.phase = SearchPhase::Server,
+                (SearchPhase::Server, _) => return,
+            }
+            search.phase
+        };
+        let _ = next;
+        self.run_phase(now, id, out);
+    }
+
+    fn start_search(
+        &mut self,
+        now: SimTime,
+        video: VideoId,
+        kind: TransferKind,
+        from_chunk: ChunkIndex,
+        playback_reported: bool,
+        out: &mut Outbox,
+    ) {
+        let id = self.fresh_request();
+        self.searches.insert(
+            id,
+            Search {
+                video,
+                kind,
+                phase: SearchPhase::Channel,
+                requested_at: now,
+                provider: None,
+                from_chunk,
+                playback_reported,
+            },
+        );
+        self.run_phase(now, id, out);
+    }
+
+    /// Ensures this peer participates in the current channel's overlay,
+    /// contacting the server while its inner-link table is under-filled
+    /// (the paper: a node "builds its links to other nodes in the
+    /// lower-level channel overlay until the number reaches N_l").
+    fn ensure_joined(&mut self, video: VideoId, out: &mut Outbox) {
+        if self.neighbors.inner().len() < self.config.inner_links {
+            out.to_server(Message::JoinRequest { video });
+        }
+    }
+
+    fn connect_to(&mut self, target: NodeId, kind: LinkKind, out: &mut Outbox) {
+        if target == self.node || self.neighbors.contains(target) {
+            return;
+        }
+        if !self.neighbors.has_capacity(kind) {
+            return;
+        }
+        out.to_peer(
+            target,
+            Message::ConnectRequest {
+                kind,
+                channel: self.current_channel,
+                video: None,
+            },
+        );
+    }
+
+    fn schedule_prefetch(&mut self, out: &mut Outbox) {
+        if self.config.prefetch {
+            out.timer(self.config.prefetch_delay, TimerKind::PrefetchKick);
+        }
+    }
+
+    /// The ranked popular videos of `channel`: the server's digest when we
+    /// have one, else the catalog ranking (identical information — the
+    /// digest *is* the server's view of the catalog).
+    fn ranked_videos(&self, channel: ChannelId) -> Vec<VideoId> {
+        if let Some(d) = self.digests.get(&channel) {
+            return d.clone();
+        }
+        self.catalog.channel_videos_by_popularity(channel)
+    }
+}
+
+impl VodPeer for SocialTubePeer {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn on_login(&mut self, _now: SimTime, out: &mut Outbox) {
+        self.online = true;
+        // Report our subscription set; the server keeps per-channel
+        // membership from these (far less state than NetTube's per-video
+        // watch reports, Section IV-A).
+        out.to_server(Message::SubscriptionUpdate {
+            subscribed: self.subscriptions.clone(),
+        });
+        // Reconnect to the neighbors remembered from the previous session;
+        // those that fail to answer are dropped at the deadline.
+        for neighbor in self.neighbors.iter().map(|n| n.node).collect::<Vec<_>>() {
+            let nonce = self.fresh_nonce();
+            self.pending_probes.insert(nonce, neighbor);
+            let kind = self.neighbors.kind_of(neighbor).unwrap_or(LinkKind::Inter);
+            out.to_peer(
+                neighbor,
+                Message::ConnectRequest {
+                    kind,
+                    channel: self.current_channel,
+                    video: None,
+                },
+            );
+            out.timer(
+                self.config.probe_timeout,
+                TimerKind::ProbeDeadline { neighbor, nonce },
+            );
+        }
+        out.timer(self.config.probe_interval, TimerKind::ProbeTick);
+    }
+
+    fn on_logout(&mut self, _now: SimTime, out: &mut Outbox) {
+        self.online = false;
+        // Graceful departure: notify neighbors so they drop their links,
+        // but *remember* them to try first at the next login (Section IV-A).
+        for n in self.neighbors.nodes() {
+            out.to_peer(n, Message::Leave);
+        }
+        out.to_server(Message::LogOff);
+        self.searches.clear();
+        self.pending_probes.clear();
+        self.current_video = None;
+    }
+
+    fn watch(&mut self, now: SimTime, video: VideoId, out: &mut Outbox) {
+        debug_assert!(self.online, "watch() on an offline peer");
+        let channel = match self.catalog.video(video) {
+            Ok(v) => v.channel(),
+            Err(_) => return,
+        };
+        self.current_video = Some(video);
+        if self.current_channel != Some(channel) {
+            self.current_channel = Some(channel);
+            self.neighbors.set_current_channel(Some(channel));
+            let subscribed = self.subscriptions.clone();
+            for dropped in self
+                .neighbors
+                .shed_out_of_community(&self.catalog, &subscribed)
+            {
+                out.to_peer(dropped, Message::Leave);
+            }
+            self.ensure_joined(video, out);
+        } else {
+            self.ensure_joined(video, out);
+        }
+
+        let total = self.total_chunks(video);
+        if self.cache.has_full(video) {
+            self.cache.touch(video, now.as_micros());
+            out.report(Report::PlaybackStarted {
+                node: self.node,
+                video,
+                requested_at: now,
+                source: ChunkSource::Cache,
+            });
+            self.schedule_prefetch(out);
+            return;
+        }
+        if self.cache.has_first_chunk(video) {
+            // Prefetch hit: playback starts immediately; fetch the rest in
+            // the background.
+            out.report(Report::PlaybackStarted {
+                node: self.node,
+                video,
+                requested_at: now,
+                source: ChunkSource::Prefetched,
+            });
+            self.schedule_prefetch(out);
+            let from = self.cache.chunks_of(video);
+            if from < total {
+                self.start_search(now, video, TransferKind::Playback, from, true, out);
+            }
+            return;
+        }
+        self.start_search(now, video, TransferKind::Playback, 0, false, out);
+    }
+
+    fn on_message(&mut self, now: SimTime, from: PeerAddr, msg: Message, out: &mut Outbox) {
+        if !self.online {
+            // Paper model: an offline node's client is gone; the driver
+            // normally drops such messages, this is a second line of defense.
+            return;
+        }
+        match msg {
+            Message::Query {
+                id,
+                video,
+                ttl,
+                origin,
+                scope,
+            } => {
+                if origin == self.node || !self.mark_seen(id) {
+                    return;
+                }
+                if self.cache.has_full(video) {
+                    self.cache.touch(video, now.as_micros());
+                    out.to_peer(
+                        origin,
+                        Message::QueryHit {
+                            id,
+                            video,
+                            provider: self.node,
+                            provider_channel: self.current_channel,
+                        },
+                    );
+                    return;
+                }
+                if ttl == 0 {
+                    return;
+                }
+                // Forward along the overlay the query is traversing:
+                // channel-scope queries follow links into that channel,
+                // category-scope queries continue through any link inside
+                // the category's channel overlays (Section IV-A).
+                let targets = match scope {
+                    QueryScope::Channel(c) => self.neighbors.in_channel(c),
+                    QueryScope::Category(cat) => self.neighbors.in_category(cat, &self.catalog),
+                    QueryScope::PerVideo => self.neighbors.nodes(),
+                };
+                let sender = match from {
+                    PeerAddr::Peer(n) => Some(n),
+                    PeerAddr::Server => None,
+                };
+                for t in targets {
+                    if Some(t) == sender || t == origin {
+                        continue;
+                    }
+                    out.to_peer(
+                        t,
+                        Message::Query {
+                            id,
+                            video,
+                            ttl: ttl - 1,
+                            origin,
+                            scope,
+                        },
+                    );
+                }
+            }
+
+            Message::QueryHit {
+                id,
+                video,
+                provider,
+                provider_channel,
+            } => {
+                let Some(search) = self.searches.get_mut(&id) else {
+                    return;
+                };
+                if search.provider.is_some() || search.phase == SearchPhase::Server {
+                    return; // first hit wins; later responses are ignored
+                }
+                search.provider = Some(provider);
+                let kind = search.kind;
+                let from_chunk = search.from_chunk;
+                out.to_peer(
+                    provider,
+                    Message::ChunkRequest {
+                        id,
+                        video,
+                        from_chunk,
+                        kind,
+                    },
+                );
+                out.timer(self.config.chunk_timeout, TimerKind::ChunkDeadline { id });
+                // Connect to the provider: it tends to watch what we watch
+                // (the paper's link-building rule after a successful search).
+                let link_kind = self.neighbors.classify(provider_channel);
+                self.connect_to(provider, link_kind, out);
+            }
+
+            Message::ChunkRequest {
+                id,
+                video,
+                from_chunk,
+                kind,
+            } => {
+                if !self.cache.has_full(video) {
+                    out.to_peer(
+                        match from {
+                            PeerAddr::Peer(n) => n,
+                            PeerAddr::Server => return,
+                        },
+                        Message::ChunkUnavailable { id, video },
+                    );
+                    return;
+                }
+                let PeerAddr::Peer(requester) = from else {
+                    return;
+                };
+                self.cache.touch(video, now.as_micros());
+                let total = self.total_chunks(video);
+                let bits = self.chunk_bits(video);
+                let last = match kind {
+                    TransferKind::Prefetch => from_chunk, // first chunk only
+                    TransferKind::Playback => total.saturating_sub(1),
+                };
+                for chunk in from_chunk..=last.min(total.saturating_sub(1)) {
+                    out.to_peer(
+                        requester,
+                        Message::ChunkData {
+                            id,
+                            video,
+                            chunk,
+                            bits,
+                            kind,
+                        },
+                    );
+                }
+            }
+
+            Message::ChunkData {
+                id,
+                video,
+                chunk,
+                bits,
+                kind,
+            } => {
+                let source = match from {
+                    PeerAddr::Peer(_) => ChunkSource::Peer,
+                    PeerAddr::Server => ChunkSource::Server,
+                };
+                out.report(Report::ChunkReceived {
+                    node: self.node,
+                    video,
+                    bits,
+                    source,
+                    kind,
+                });
+                let total = self.total_chunks(video);
+                self.cache
+                    .record_chunk(video, chunk, total, now.as_micros());
+                let mut done = false;
+                let mut playback_began = false;
+                if let Some(search) = self.searches.get_mut(&id) {
+                    if kind == TransferKind::Playback
+                        && !search.playback_reported
+                        && chunk == search.from_chunk
+                    {
+                        search.playback_reported = true;
+                        playback_began = true;
+                        out.report(Report::PlaybackStarted {
+                            node: self.node,
+                            video,
+                            requested_at: search.requested_at,
+                            source,
+                        });
+                    }
+                    done = match kind {
+                        TransferKind::Prefetch => chunk == search.from_chunk,
+                        TransferKind::Playback => chunk + 1 >= total,
+                    };
+                }
+                if playback_began {
+                    self.schedule_prefetch(out);
+                }
+                if done {
+                    self.searches.remove(&id);
+                }
+            }
+
+            Message::ChunkUnavailable { id, video } => {
+                let Some(search) = self.searches.get_mut(&id) else {
+                    return;
+                };
+                // The provider lost the video (logoff race): fall straight
+                // back to the server for the remaining chunks.
+                search.provider = None;
+                search.phase = SearchPhase::Server;
+                search.from_chunk = self.cache.chunks_of(video);
+                self.run_phase(now, id, out);
+            }
+
+            Message::ConnectRequest {
+                kind: _,
+                channel,
+                video: _,
+            } => {
+                let PeerAddr::Peer(requester) = from else {
+                    return;
+                };
+                let kind = self.neighbors.classify(channel);
+                if self.neighbors.contains(requester) {
+                    self.neighbors.update_channel(requester, channel);
+                    out.to_peer(
+                        requester,
+                        Message::ConnectAccept {
+                            kind,
+                            channel: self.current_channel,
+                            video: None,
+                        },
+                    );
+                } else if self.neighbors.has_capacity(kind)
+                    && self.neighbors.try_add(requester, channel)
+                {
+                    out.to_peer(
+                        requester,
+                        Message::ConnectAccept {
+                            kind,
+                            channel: self.current_channel,
+                            video: None,
+                        },
+                    );
+                } else {
+                    out.to_peer(requester, Message::ConnectReject { kind });
+                }
+            }
+
+            Message::ConnectAccept {
+                kind: _,
+                channel,
+                video: _,
+            } => {
+                let PeerAddr::Peer(accepter) = from else {
+                    return;
+                };
+                // Clear any reconnect-deadline bookkeeping for this peer.
+                self.pending_probes.retain(|_, n| *n != accepter);
+                if self.neighbors.contains(accepter) {
+                    self.neighbors.update_channel(accepter, channel);
+                } else {
+                    self.neighbors.try_add(accepter, channel);
+                }
+            }
+
+            Message::ConnectReject { .. } => {
+                if let PeerAddr::Peer(rejecter) = from {
+                    self.pending_probes.retain(|_, n| *n != rejecter);
+                    self.neighbors.remove(rejecter);
+                }
+            }
+
+            Message::Probe { nonce } => {
+                if let PeerAddr::Peer(p) = from {
+                    out.to_peer(p, Message::ProbeAck { nonce });
+                }
+            }
+
+            Message::ProbeAck { nonce } => {
+                self.pending_probes.remove(&nonce);
+            }
+
+            Message::Leave => {
+                if let PeerAddr::Peer(p) = from {
+                    self.neighbors.remove(p);
+                }
+            }
+
+            Message::JoinResponse {
+                video: _,
+                channel_contacts,
+                category_contacts,
+            } => {
+                for contact in channel_contacts {
+                    self.connect_to(contact, LinkKind::Inner, out);
+                }
+                for contact in category_contacts {
+                    self.connect_to(contact, LinkKind::Inter, out);
+                }
+            }
+
+            Message::PopularityDigest { channel, ranked } => {
+                self.digests.insert(channel, ranked);
+            }
+
+            // Messages other protocols use; a SocialTube peer ignores them.
+            Message::CacheDigest { .. }
+            | Message::JoinRequest { .. }
+            | Message::VideoRequest { .. }
+            | Message::ProviderLookup { .. }
+            | Message::WatchStarted { .. }
+            | Message::WatchStopped { .. }
+            | Message::SubscriptionUpdate { .. }
+            | Message::LogOff
+            | Message::OverlayContacts { .. }
+            | Message::ProviderList { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, timer: TimerKind, out: &mut Outbox) {
+        if !self.online {
+            return;
+        }
+        match timer {
+            TimerKind::ProbeTick => {
+                for neighbor in self.neighbors.nodes() {
+                    let nonce = self.fresh_nonce();
+                    self.pending_probes.insert(nonce, neighbor);
+                    out.to_peer(neighbor, Message::Probe { nonce });
+                    out.timer(
+                        self.config.probe_timeout,
+                        TimerKind::ProbeDeadline { neighbor, nonce },
+                    );
+                }
+                out.timer(self.config.probe_interval, TimerKind::ProbeTick);
+            }
+
+            TimerKind::ProbeDeadline { neighbor, nonce } => {
+                if self.pending_probes.remove(&nonce).is_some() {
+                    // No answer in time: the neighbor failed abruptly.
+                    self.neighbors.remove(neighbor);
+                }
+            }
+
+            TimerKind::SearchDeadline { id, phase } => {
+                let stalled = self
+                    .searches
+                    .get(&id)
+                    .is_some_and(|s| s.phase == phase && s.provider.is_none());
+                if stalled {
+                    self.advance_phase(now, id, out);
+                }
+            }
+
+            TimerKind::ChunkDeadline { id } => {
+                let Some(search) = self.searches.get_mut(&id) else {
+                    return;
+                };
+                if search.phase == SearchPhase::Server {
+                    return;
+                }
+                // Transfer stalled (provider died): server takes over from
+                // the next missing chunk.
+                let video = search.video;
+                search.provider = None;
+                search.phase = SearchPhase::Server;
+                search.from_chunk = self.cache.chunks_of(video);
+                self.run_phase(now, id, out);
+            }
+
+            TimerKind::PrefetchKick => {
+                if !self.config.prefetch {
+                    return;
+                }
+                let Some(channel) = self.current_channel else {
+                    return;
+                };
+                let ranked = self.ranked_videos(channel);
+                let targets: Vec<VideoId> = ranked
+                    .into_iter()
+                    .filter(|v| !self.cache.has_first_chunk(*v))
+                    .take(self.config.prefetch_count)
+                    .collect();
+                for video in targets {
+                    self.start_search(now, video, TransferKind::Prefetch, 0, true, out);
+                }
+            }
+
+            TimerKind::LoginDeadline => {}
+        }
+    }
+
+    fn link_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    fn is_online(&self) -> bool {
+        self.online
+    }
+
+    fn has_cached(&self, video: VideoId) -> bool {
+        self.cache.has_full(video)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Command;
+    use socialtube_model::CatalogBuilder;
+
+    /// Two channels in one category, one channel elsewhere; two videos per
+    /// channel.
+    fn fixture() -> (Arc<Catalog>, Vec<ChannelId>, Vec<VideoId>) {
+        let mut b = CatalogBuilder::new();
+        let news = b.add_category("News");
+        let other = b.add_category("Other");
+        let c0 = b.add_channel("c0", [news]);
+        let c1 = b.add_channel("c1", [news]);
+        let c2 = b.add_channel("c2", [other]);
+        let mut vids = Vec::new();
+        for ch in [c0, c1, c2] {
+            for i in 0..2 {
+                let v = b.add_video(ch, 100, i);
+                b.set_views(v, 1000 / (i as u64 + 1));
+                vids.push(v);
+            }
+        }
+        (Arc::new(b.build()), vec![c0, c1, c2], vids)
+    }
+
+    fn peer(node: u32) -> SocialTubePeer {
+        let (catalog, chans, _) = fixture();
+        SocialTubePeer::new(
+            NodeId::new(node),
+            catalog,
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        )
+    }
+
+    fn sent_to_server(out: &Outbox) -> Vec<&Message> {
+        out.commands()
+            .iter()
+            .filter_map(|c| match c {
+                Command::ToServer { msg } => Some(msg),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn sent_to_peers(out: &Outbox) -> Vec<(NodeId, &Message)> {
+        out.commands()
+            .iter()
+            .filter_map(|c| match c {
+                Command::ToPeer { to, msg } => Some((*to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn reports(out: &Outbox) -> Vec<&Report> {
+        out.commands()
+            .iter()
+            .filter_map(|c| match c {
+                Command::Report(r) => Some(r),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn login_reports_subscriptions_and_arms_probing() {
+        let mut p = peer(0);
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        assert!(p.is_online());
+        assert!(matches!(
+            sent_to_server(&out)[0],
+            Message::SubscriptionUpdate { subscribed } if subscribed.len() == 1
+        ));
+        assert!(out.commands().iter().any(|c| matches!(
+            c,
+            Command::Timer {
+                kind: TimerKind::ProbeTick,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn first_watch_with_no_neighbors_goes_to_server() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            catalog,
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        out.drain();
+        p.watch(SimTime::ZERO, vids[0], &mut out);
+        let server_msgs = sent_to_server(&out);
+        // Joins the channel overlay and requests the video from the server.
+        assert!(server_msgs
+            .iter()
+            .any(|m| matches!(m, Message::JoinRequest { .. })));
+        assert!(server_msgs
+            .iter()
+            .any(|m| matches!(m, Message::VideoRequest { .. })));
+        assert!(reports(&out)
+            .iter()
+            .any(|r| matches!(r, Report::ServerFallback { .. })));
+    }
+
+    #[test]
+    fn cached_video_plays_instantly() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            Arc::clone(&catalog),
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        out.drain();
+        // Seed the cache by completing one full download from the server.
+        p.watch(SimTime::ZERO, vids[0], &mut out);
+        out.drain();
+        let total = catalog.video(vids[0]).unwrap().chunk_count();
+        let id = RequestId::new(NodeId::new(0), 0);
+        for chunk in 0..total {
+            p.on_message(
+                SimTime::ZERO,
+                PeerAddr::Server,
+                Message::ChunkData {
+                    id,
+                    video: vids[0],
+                    chunk,
+                    bits: 100,
+                    kind: TransferKind::Playback,
+                },
+                &mut out,
+            );
+        }
+        assert!(p.has_cached(vids[0]));
+        out.drain();
+        // Watch it again: cache hit, no network traffic for the video.
+        p.watch(SimTime::from_micros(1), vids[0], &mut out);
+        let rs = reports(&out);
+        assert!(rs.iter().any(|r| matches!(
+            r,
+            Report::PlaybackStarted {
+                source: ChunkSource::Cache,
+                ..
+            }
+        )));
+        assert!(sent_to_server(&out)
+            .iter()
+            .all(|m| !matches!(m, Message::VideoRequest { .. })));
+    }
+
+    #[test]
+    fn query_hit_claims_provider_and_requests_chunks() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            catalog,
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        // Give the peer one inner neighbor so the search floods.
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(9)),
+            Message::ConnectRequest {
+                kind: LinkKind::Inner,
+                channel: Some(chans[0]),
+                video: None,
+            },
+            &mut out,
+        );
+        p.current_channel = Some(chans[0]);
+        p.neighbors.set_current_channel(Some(chans[0]));
+        out.drain();
+        p.watch(SimTime::ZERO, vids[0], &mut out);
+        let peers = sent_to_peers(&out);
+        assert!(peers
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(9) && matches!(m, Message::Query { .. })));
+        out.drain();
+
+        let id = RequestId::new(NodeId::new(0), 0);
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(9)),
+            Message::QueryHit {
+                id,
+                video: vids[0],
+                provider: NodeId::new(9),
+                provider_channel: Some(chans[0]),
+            },
+            &mut out,
+        );
+        let peers = sent_to_peers(&out);
+        assert!(peers
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(9) && matches!(m, Message::ChunkRequest { .. })));
+
+        // A second hit from elsewhere is ignored (first hit wins).
+        out.drain();
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(8)),
+            Message::QueryHit {
+                id,
+                video: vids[0],
+                provider: NodeId::new(8),
+                provider_channel: Some(chans[0]),
+            },
+            &mut out,
+        );
+        assert!(sent_to_peers(&out).is_empty());
+    }
+
+    #[test]
+    fn query_forwarding_decrements_ttl_and_dedupes() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(5),
+            catalog,
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.current_channel = Some(chans[0]);
+        p.neighbors.set_current_channel(Some(chans[0]));
+        p.neighbors.try_add(NodeId::new(6), Some(chans[0]));
+        p.neighbors.try_add(NodeId::new(7), Some(chans[0]));
+        out.drain();
+
+        let id = RequestId::new(NodeId::new(1), 0);
+        let query = Message::Query {
+            id,
+            video: vids[0],
+            ttl: 2,
+            origin: NodeId::new(1),
+            scope: QueryScope::Channel(chans[0]),
+        };
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(6)),
+            query.clone(),
+            &mut out,
+        );
+        let forwards = sent_to_peers(&out);
+        // Forwarded to 7 only (not back to sender 6), with ttl-1.
+        assert_eq!(forwards.len(), 1);
+        assert_eq!(forwards[0].0, NodeId::new(7));
+        assert!(matches!(forwards[0].1, Message::Query { ttl: 1, .. }));
+        out.drain();
+
+        // Duplicate delivery is suppressed.
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(7)),
+            query,
+            &mut out,
+        );
+        assert!(sent_to_peers(&out).is_empty());
+    }
+
+    #[test]
+    fn cached_provider_answers_queries() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(5),
+            Arc::clone(&catalog),
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.cache.insert_full(vids[0], 2, 0);
+        out.drain();
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(6)),
+            Message::Query {
+                id: RequestId::new(NodeId::new(1), 0),
+                video: vids[0],
+                ttl: 2,
+                origin: NodeId::new(1),
+                scope: QueryScope::Channel(chans[0]),
+            },
+            &mut out,
+        );
+        let sent = sent_to_peers(&out);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, NodeId::new(1), "hit goes straight to origin");
+        assert!(matches!(sent[0].1, Message::QueryHit { .. }));
+    }
+
+    #[test]
+    fn ttl_zero_queries_are_not_forwarded() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(5),
+            catalog,
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.current_channel = Some(chans[0]);
+        p.neighbors.set_current_channel(Some(chans[0]));
+        p.neighbors.try_add(NodeId::new(6), Some(chans[0]));
+        out.drain();
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(6)),
+            Message::Query {
+                id: RequestId::new(NodeId::new(1), 0),
+                video: vids[0],
+                ttl: 0,
+                origin: NodeId::new(1),
+                scope: QueryScope::Channel(chans[0]),
+            },
+            &mut out,
+        );
+        assert!(sent_to_peers(&out).is_empty());
+    }
+
+    #[test]
+    fn playback_report_fires_on_first_chunk() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            Arc::clone(&catalog),
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        out.drain();
+        p.watch(SimTime::ZERO, vids[0], &mut out);
+        out.drain();
+        let id = RequestId::new(NodeId::new(0), 0);
+        p.on_message(
+            SimTime::from_micros(500_000),
+            PeerAddr::Server,
+            Message::ChunkData {
+                id,
+                video: vids[0],
+                chunk: 0,
+                bits: 100,
+                kind: TransferKind::Playback,
+            },
+            &mut out,
+        );
+        let total = catalog.video(vids[0]).unwrap().chunk_count();
+        let rs = reports(&out);
+        let started = rs
+            .iter()
+            .find_map(|r| match r {
+                Report::PlaybackStarted {
+                    requested_at,
+                    source,
+                    ..
+                } => Some((*requested_at, *source)),
+                _ => None,
+            })
+            .expect("playback started");
+        assert_eq!(started.0, SimTime::ZERO);
+        assert_eq!(started.1, ChunkSource::Server);
+        // The remaining chunks complete the video and the search.
+        out.drain();
+        for chunk in 1..total {
+            p.on_message(
+                SimTime::from_micros(600_000),
+                PeerAddr::Server,
+                Message::ChunkData {
+                    id,
+                    video: vids[0],
+                    chunk,
+                    bits: 100,
+                    kind: TransferKind::Playback,
+                },
+                &mut out,
+            );
+        }
+        assert_eq!(p.active_searches(), 0);
+        assert!(p.has_cached(vids[0]));
+    }
+
+    #[test]
+    fn search_deadline_advances_channel_to_category_to_server() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            catalog,
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.current_channel = Some(chans[0]);
+        p.neighbors.set_current_channel(Some(chans[0]));
+        // One inner and one inter neighbor.
+        p.neighbors.try_add(NodeId::new(6), Some(chans[0]));
+        p.neighbors.try_add(NodeId::new(7), Some(chans[1]));
+        out.drain();
+        p.watch(SimTime::ZERO, vids[0], &mut out);
+        out.drain();
+
+        let id = RequestId::new(NodeId::new(0), 0);
+        // Channel deadline: escalate to category scope.
+        p.on_timer(
+            SimTime::from_micros(1),
+            TimerKind::SearchDeadline {
+                id,
+                phase: SearchPhase::Channel,
+            },
+            &mut out,
+        );
+        let sent = sent_to_peers(&out);
+        assert!(sent.iter().any(|(to, m)| *to == NodeId::new(7)
+            && matches!(
+                m,
+                Message::Query {
+                    scope: QueryScope::Category(_),
+                    ..
+                }
+            )));
+        out.drain();
+
+        // Category deadline: fall back to the server.
+        p.on_timer(
+            SimTime::from_micros(2),
+            TimerKind::SearchDeadline {
+                id,
+                phase: SearchPhase::Category,
+            },
+            &mut out,
+        );
+        assert!(sent_to_server(&out)
+            .iter()
+            .any(|m| matches!(m, Message::VideoRequest { .. })));
+    }
+
+    #[test]
+    fn stale_search_deadline_is_ignored() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            catalog,
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.current_channel = Some(chans[0]);
+        p.neighbors.set_current_channel(Some(chans[0]));
+        p.neighbors.try_add(NodeId::new(6), Some(chans[0]));
+        out.drain();
+        p.watch(SimTime::ZERO, vids[0], &mut out);
+        out.drain();
+        let id = RequestId::new(NodeId::new(0), 0);
+        // A hit arrives before the deadline.
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(6)),
+            Message::QueryHit {
+                id,
+                video: vids[0],
+                provider: NodeId::new(6),
+                provider_channel: Some(chans[0]),
+            },
+            &mut out,
+        );
+        out.drain();
+        // The stale deadline must not re-run the phase.
+        p.on_timer(
+            SimTime::from_micros(1),
+            TimerKind::SearchDeadline {
+                id,
+                phase: SearchPhase::Channel,
+            },
+            &mut out,
+        );
+        assert!(sent_to_server(&out).is_empty());
+        assert!(sent_to_peers(&out).is_empty());
+    }
+
+    #[test]
+    fn probe_deadline_removes_dead_neighbor() {
+        let (catalog, chans, _) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            catalog,
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.neighbors.try_add(NodeId::new(6), Some(chans[0]));
+        out.drain();
+        p.on_timer(SimTime::ZERO, TimerKind::ProbeTick, &mut out);
+        assert!(sent_to_peers(&out)
+            .iter()
+            .any(|(_, m)| matches!(m, Message::Probe { .. })));
+        // Probe 6 never answers.
+        let nonce = out
+            .commands()
+            .iter()
+            .find_map(|c| match c {
+                Command::ToPeer {
+                    msg: Message::Probe { nonce },
+                    ..
+                } => Some(*nonce),
+                _ => None,
+            })
+            .expect("probe sent");
+        out.drain();
+        p.on_timer(
+            SimTime::from_micros(1),
+            TimerKind::ProbeDeadline {
+                neighbor: NodeId::new(6),
+                nonce,
+            },
+            &mut out,
+        );
+        assert!(!p.neighbors().contains(NodeId::new(6)));
+    }
+
+    #[test]
+    fn probe_ack_keeps_neighbor() {
+        let (catalog, chans, _) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            catalog,
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.neighbors.try_add(NodeId::new(6), Some(chans[0]));
+        out.drain();
+        p.on_timer(SimTime::ZERO, TimerKind::ProbeTick, &mut out);
+        let nonce = out
+            .commands()
+            .iter()
+            .find_map(|c| match c {
+                Command::ToPeer {
+                    msg: Message::Probe { nonce },
+                    ..
+                } => Some(*nonce),
+                _ => None,
+            })
+            .expect("probe sent");
+        out.drain();
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(6)),
+            Message::ProbeAck { nonce },
+            &mut out,
+        );
+        p.on_timer(
+            SimTime::from_micros(1),
+            TimerKind::ProbeDeadline {
+                neighbor: NodeId::new(6),
+                nonce,
+            },
+            &mut out,
+        );
+        assert!(p.neighbors().contains(NodeId::new(6)));
+    }
+
+    #[test]
+    fn logout_notifies_neighbors_but_remembers_them() {
+        let (catalog, chans, _) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            catalog,
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.neighbors.try_add(NodeId::new(6), Some(chans[0]));
+        out.drain();
+        p.on_logout(SimTime::ZERO, &mut out);
+        assert!(!p.is_online());
+        assert!(sent_to_peers(&out)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(6) && matches!(m, Message::Leave)));
+        assert!(sent_to_server(&out)
+            .iter()
+            .any(|m| matches!(m, Message::LogOff)));
+        // The link memory survives for next login's reconnect attempt.
+        assert_eq!(p.link_count(), 1);
+        out.drain();
+        p.on_login(SimTime::from_micros(10), &mut out);
+        assert!(sent_to_peers(&out)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(6) && matches!(m, Message::ConnectRequest { .. })));
+    }
+
+    #[test]
+    fn prefetch_kick_prefetches_top_videos() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            Arc::clone(&catalog),
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.current_channel = Some(chans[0]);
+        p.neighbors.set_current_channel(Some(chans[0]));
+        out.drain();
+        // With no neighbors, prefetch misses are dropped silently — no
+        // origin traffic, no reports.
+        p.on_timer(SimTime::ZERO, TimerKind::PrefetchKick, &mut out);
+        assert!(sent_to_server(&out)
+            .iter()
+            .all(|m| !matches!(m, Message::VideoRequest { .. })));
+        assert!(reports(&out)
+            .iter()
+            .all(|r| !matches!(r, Report::ServerFallback { .. })));
+        assert_eq!(p.active_searches(), 0);
+        out.drain();
+        // With an inner neighbor, prefetch floods the channel overlay for
+        // the top-M popular videos not yet cached.
+        p.neighbors.try_add(NodeId::new(9), Some(chans[0]));
+        p.cache.insert_first_chunk(vids[0], 2, 1);
+        p.on_timer(SimTime::from_micros(1), TimerKind::PrefetchKick, &mut out);
+        let queries = sent_to_peers(&out)
+            .iter()
+            .filter(|(to, m)| *to == NodeId::new(9) && matches!(m, Message::Query { .. }))
+            .count();
+        // Channel 0 has two videos; one is already (partially) cached.
+        assert_eq!(queries, 1);
+    }
+
+    #[test]
+    fn prefetched_video_starts_playback_instantly() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            Arc::clone(&catalog),
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.cache.insert_first_chunk(vids[0], 2, 0);
+        out.drain();
+        p.watch(SimTime::ZERO, vids[0], &mut out);
+        assert!(reports(&out).iter().any(|r| matches!(
+            r,
+            Report::PlaybackStarted {
+                source: ChunkSource::Prefetched,
+                ..
+            }
+        )));
+        // Remaining chunks are still fetched (search active).
+        assert_eq!(p.active_searches(), 1);
+    }
+
+    #[test]
+    fn channel_switch_sheds_out_of_community_links() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            Arc::clone(&catalog),
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.current_channel = Some(chans[2]);
+        p.neighbors.set_current_channel(Some(chans[2]));
+        p.neighbors.try_add(NodeId::new(6), Some(chans[2]));
+        out.drain();
+        // Switch to channel 0 (category News): the chans[2] link (category
+        // Other) is shed with a Leave.
+        p.watch(SimTime::ZERO, vids[0], &mut out);
+        assert!(sent_to_peers(&out)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(6) && matches!(m, Message::Leave)));
+        assert!(!p.neighbors().contains(NodeId::new(6)));
+    }
+
+    #[test]
+    fn connect_handshake_is_capacity_limited() {
+        let (catalog, chans, _) = fixture();
+        let config = SocialTubeConfig {
+            inner_links: 1,
+            ..SocialTubeConfig::default()
+        };
+        let mut p = SocialTubePeer::new(NodeId::new(0), catalog, vec![chans[0]], config);
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.current_channel = Some(chans[0]);
+        p.neighbors.set_current_channel(Some(chans[0]));
+        out.drain();
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(6)),
+            Message::ConnectRequest {
+                kind: LinkKind::Inner,
+                channel: Some(chans[0]),
+                video: None,
+            },
+            &mut out,
+        );
+        assert!(sent_to_peers(&out)
+            .iter()
+            .any(|(_, m)| matches!(m, Message::ConnectAccept { .. })));
+        out.drain();
+        // Second inner connect: table full, rejected.
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(7)),
+            Message::ConnectRequest {
+                kind: LinkKind::Inner,
+                channel: Some(chans[0]),
+                video: None,
+            },
+            &mut out,
+        );
+        assert!(sent_to_peers(&out)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(7) && matches!(m, Message::ConnectReject { .. })));
+        assert_eq!(p.link_count(), 1);
+    }
+
+    #[test]
+    fn chunk_unavailable_falls_back_to_server() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            catalog,
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        p.current_channel = Some(chans[0]);
+        p.neighbors.set_current_channel(Some(chans[0]));
+        p.neighbors.try_add(NodeId::new(6), Some(chans[0]));
+        out.drain();
+        p.watch(SimTime::ZERO, vids[0], &mut out);
+        out.drain();
+        let id = RequestId::new(NodeId::new(0), 0);
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(6)),
+            Message::QueryHit {
+                id,
+                video: vids[0],
+                provider: NodeId::new(6),
+                provider_channel: Some(chans[0]),
+            },
+            &mut out,
+        );
+        out.drain();
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(6)),
+            Message::ChunkUnavailable { id, video: vids[0] },
+            &mut out,
+        );
+        assert!(sent_to_server(&out)
+            .iter()
+            .any(|m| matches!(m, Message::VideoRequest { .. })));
+    }
+
+    #[test]
+    fn subscription_changes_are_reported_and_shed_links() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            Arc::clone(&catalog),
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        out.drain();
+
+        // Subscribe to a new channel: reported once, idempotent after.
+        p.subscribe(chans[2], &mut out);
+        assert!(matches!(
+            sent_to_server(&out)[0],
+            Message::SubscriptionUpdate { subscribed } if subscribed.len() == 2
+        ));
+        out.drain();
+        p.subscribe(chans[2], &mut out);
+        assert!(sent_to_server(&out).is_empty(), "idempotent subscribe");
+
+        // Watch in chans[0]'s category, keep a link to chans[2] (category
+        // Other) alive purely through the subscription...
+        p.watch(SimTime::ZERO, vids[0], &mut out);
+        p.neighbors.try_add(NodeId::new(6), Some(chans[2]));
+        out.drain();
+        // ...then unsubscribe: the link loses its justification and sheds.
+        p.unsubscribe(chans[2], &mut out);
+        assert!(sent_to_server(&out).iter().any(
+            |m| matches!(m, Message::SubscriptionUpdate { subscribed } if subscribed.len() == 1)
+        ));
+        assert!(sent_to_peers(&out)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(6) && matches!(m, Message::Leave)));
+        assert!(!p.neighbors().contains(NodeId::new(6)));
+    }
+
+    #[test]
+    fn offline_subscription_changes_are_silent() {
+        let (catalog, chans, _) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            catalog,
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.subscribe(chans[1], &mut out);
+        p.unsubscribe(chans[0], &mut out);
+        assert!(out.commands().is_empty());
+        assert_eq!(p.subscriptions(), &[chans[1]]);
+        // The next login reports the final set.
+        p.on_login(SimTime::ZERO, &mut out);
+        assert!(matches!(
+            sent_to_server(&out)[0],
+            Message::SubscriptionUpdate { subscribed } if *subscribed == vec![chans[1]]
+        ));
+    }
+
+    #[test]
+    fn offline_peer_ignores_everything() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            catalog,
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(6)),
+            Message::Query {
+                id: RequestId::new(NodeId::new(6), 0),
+                video: vids[0],
+                ttl: 2,
+                origin: NodeId::new(6),
+                scope: QueryScope::Channel(chans[0]),
+            },
+            &mut out,
+        );
+        p.on_timer(SimTime::ZERO, TimerKind::ProbeTick, &mut out);
+        assert!(out.commands().is_empty());
+    }
+
+    #[test]
+    fn chunk_request_for_missing_video_answers_unavailable() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            catalog,
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        out.drain();
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(6)),
+            Message::ChunkRequest {
+                id: RequestId::new(NodeId::new(6), 0),
+                video: vids[0],
+                from_chunk: 0,
+                kind: TransferKind::Playback,
+            },
+            &mut out,
+        );
+        assert!(sent_to_peers(&out)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(6) && matches!(m, Message::ChunkUnavailable { .. })));
+    }
+
+    #[test]
+    fn provider_serves_all_chunks_for_playback_one_for_prefetch() {
+        let (catalog, chans, vids) = fixture();
+        let mut p = SocialTubePeer::new(
+            NodeId::new(0),
+            Arc::clone(&catalog),
+            vec![chans[0]],
+            SocialTubeConfig::default(),
+        );
+        let mut out = Outbox::new();
+        p.on_login(SimTime::ZERO, &mut out);
+        let total = catalog.video(vids[0]).unwrap().chunk_count();
+        p.cache.insert_full(vids[0], total, 0);
+        out.drain();
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(6)),
+            Message::ChunkRequest {
+                id: RequestId::new(NodeId::new(6), 0),
+                video: vids[0],
+                from_chunk: 0,
+                kind: TransferKind::Playback,
+            },
+            &mut out,
+        );
+        let chunks = sent_to_peers(&out)
+            .iter()
+            .filter(|(_, m)| matches!(m, Message::ChunkData { .. }))
+            .count();
+        assert_eq!(chunks as u32, total);
+        out.drain();
+        p.on_message(
+            SimTime::ZERO,
+            PeerAddr::Peer(NodeId::new(6)),
+            Message::ChunkRequest {
+                id: RequestId::new(NodeId::new(6), 1),
+                video: vids[0],
+                from_chunk: 0,
+                kind: TransferKind::Prefetch,
+            },
+            &mut out,
+        );
+        let chunks = sent_to_peers(&out)
+            .iter()
+            .filter(|(_, m)| matches!(m, Message::ChunkData { .. }))
+            .count();
+        assert_eq!(chunks, 1);
+    }
+}

@@ -1,0 +1,483 @@
+//! The SocialTube server: tracker for the community overlay plus origin
+//! video store.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use socialtube_model::{Catalog, ChannelId, NodeId};
+use socialtube_sim::{SimRng, SimTime};
+
+use crate::messages::Message;
+use crate::traits::{Report, ServerOutbox, TransferKind, VodServer};
+
+/// The centralized server of the SocialTube system.
+///
+/// Two roles (Section IV-A):
+///
+/// * **Tracker** — keeps per-channel membership of online subscribers so it
+///   can hand joining nodes a random contact inside the channel overlay and
+///   one contact per channel across the category cluster. Users report only
+///   *subscription changes*, so the server tracks far less state than
+///   NetTube's per-video watch reports.
+/// * **Origin store** — serves any video the P2P overlays cannot, through a
+///   bounded upload pipe (modelled by the driver), and publishes per-channel
+///   popularity rankings that drive prefetching (Section IV-B).
+#[derive(Debug)]
+pub struct SocialTubeServer {
+    catalog: Arc<Catalog>,
+    /// Channels each known node subscribes to (latest report).
+    subscriptions: HashMap<NodeId, Vec<ChannelId>>,
+    /// Online subscribers per channel — the joinable channel overlays.
+    members: HashMap<ChannelId, Vec<NodeId>>,
+    online: HashSet<NodeId>,
+    /// Maximum category contacts returned on join (the joining node's
+    /// inter-link budget; paper `N_h` = 10).
+    max_category_contacts: usize,
+    /// Maximum channel contacts returned on join (the joining node's
+    /// inner-link budget; paper `N_l` = 5).
+    max_channel_contacts: usize,
+    rng: SimRng,
+}
+
+impl SocialTubeServer {
+    /// Creates a server over `catalog` with deterministic contact selection
+    /// seeded by `rng`.
+    pub fn new(catalog: Arc<Catalog>, rng: SimRng) -> Self {
+        Self {
+            catalog,
+            subscriptions: HashMap::new(),
+            members: HashMap::new(),
+            online: HashSet::new(),
+            max_category_contacts: 10,
+            max_channel_contacts: 5,
+            rng,
+        }
+    }
+
+    /// Sets how many cross-channel contacts a join response may carry.
+    pub fn set_max_category_contacts(&mut self, max: usize) {
+        self.max_category_contacts = max;
+    }
+
+    /// Sets how many in-channel contacts a join response may carry.
+    pub fn set_max_channel_contacts(&mut self, max: usize) {
+        self.max_channel_contacts = max;
+    }
+
+    /// Number of online nodes currently known.
+    pub fn online_count(&self) -> usize {
+        self.online.len()
+    }
+
+    /// Online members of `channel`'s overlay (tests and diagnostics).
+    pub fn channel_members(&self, channel: ChannelId) -> &[NodeId] {
+        self.members.get(&channel).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn pick_member(&mut self, channel: ChannelId, exclude: NodeId) -> Option<NodeId> {
+        self.pick_members(channel, exclude, 1).into_iter().next()
+    }
+
+    fn pick_members(&mut self, channel: ChannelId, exclude: NodeId, n: usize) -> Vec<NodeId> {
+        let Some(members) = self.members.get(&channel) else {
+            return Vec::new();
+        };
+        let candidates: Vec<NodeId> = members.iter().copied().filter(|m| *m != exclude).collect();
+        self.rng.pick_distinct(&candidates, n)
+    }
+
+    fn add_member(&mut self, channel: ChannelId, node: NodeId) {
+        let members = self.members.entry(channel).or_default();
+        if !members.contains(&node) {
+            members.push(node);
+        }
+    }
+
+    fn remove_everywhere(&mut self, node: NodeId) {
+        for members in self.members.values_mut() {
+            members.retain(|n| *n != node);
+        }
+    }
+}
+
+impl VodServer for SocialTubeServer {
+    fn on_message(&mut self, _now: SimTime, from: NodeId, msg: Message, out: &mut ServerOutbox) {
+        match msg {
+            Message::SubscriptionUpdate { subscribed } => {
+                self.online.insert(from);
+                // Re-home the node's memberships to the new subscription set.
+                self.remove_everywhere(from);
+                for ch in &subscribed {
+                    self.add_member(*ch, from);
+                    // Publish the channel's popularity ranking so the node
+                    // can prefetch (Section IV-B: "the server provides the
+                    // popularities of videos in each channel to its
+                    // subscribers periodically").
+                    out.to_peer(
+                        from,
+                        Message::PopularityDigest {
+                            channel: *ch,
+                            ranked: self.catalog.channel_videos_by_popularity(*ch),
+                        },
+                    );
+                }
+                self.subscriptions.insert(from, subscribed);
+            }
+
+            Message::LogOff => {
+                self.online.remove(&from);
+                self.remove_everywhere(from);
+            }
+
+            Message::JoinRequest { video } => {
+                let Ok(v) = self.catalog.video(video) else {
+                    return;
+                };
+                let channel = v.channel();
+                let subscribed = self
+                    .subscriptions
+                    .get(&from)
+                    .is_some_and(|subs| subs.contains(&channel));
+
+                // A subscriber joins the channel overlay (possibly as its
+                // first node); a non-subscriber is only served contacts
+                // without entering the overlay (Section IV-A).
+                let max = self.max_channel_contacts;
+                let channel_contacts = self.pick_members(channel, from, max);
+                if subscribed {
+                    self.add_member(channel, from);
+                }
+
+                let category = self
+                    .catalog
+                    .channel(channel)
+                    .ok()
+                    .and_then(|c| c.primary_category());
+                let mut category_contacts = Vec::new();
+                if let Some(cat) = category {
+                    let siblings: Vec<ChannelId> = self
+                        .catalog
+                        .channels_in_category(cat)
+                        .iter()
+                        .copied()
+                        .filter(|c| *c != channel)
+                        .collect();
+                    for sibling in siblings {
+                        if category_contacts.len() >= self.max_category_contacts {
+                            break;
+                        }
+                        if let Some(contact) = self.pick_member(sibling, from) {
+                            category_contacts.push(contact);
+                        }
+                    }
+                }
+
+                out.to_peer(
+                    from,
+                    Message::JoinResponse {
+                        video,
+                        channel_contacts,
+                        category_contacts,
+                    },
+                );
+                // Non-subscribers still receive the digest of the channel
+                // they are watching so prefetching can work there.
+                out.to_peer(
+                    from,
+                    Message::PopularityDigest {
+                        channel,
+                        ranked: self.catalog.channel_videos_by_popularity(channel),
+                    },
+                );
+            }
+
+            Message::VideoRequest {
+                id,
+                video,
+                from_chunk,
+                kind,
+            } => {
+                if self.catalog.video(video).is_err() {
+                    return;
+                }
+                if kind == TransferKind::Playback {
+                    out.report(Report::ServedFromOrigin { node: from, video });
+                }
+                out.serve_chunks(from, id, video, from_chunk, kind);
+            }
+
+            // Messages belonging to the baseline protocols or peer↔peer
+            // traffic; the SocialTube server ignores them.
+            _ => {}
+        }
+    }
+
+    fn tracked_entries(&self) -> usize {
+        self.members.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::RequestId;
+    use crate::traits::ServerCommand;
+    use socialtube_model::CatalogBuilder;
+    use socialtube_model::VideoId;
+
+    fn fixture() -> (Arc<Catalog>, Vec<ChannelId>, Vec<VideoId>) {
+        let mut b = CatalogBuilder::new();
+        let news = b.add_category("News");
+        let c0 = b.add_channel("c0", [news]);
+        let c1 = b.add_channel("c1", [news]);
+        let v0 = b.add_video(c0, 100, 0);
+        let v1 = b.add_video(c1, 100, 0);
+        b.set_views(v0, 100);
+        b.set_views(v1, 50);
+        (Arc::new(b.build()), vec![c0, c1], vec![v0, v1])
+    }
+
+    fn server() -> (SocialTubeServer, Vec<ChannelId>, Vec<VideoId>) {
+        let (catalog, chans, vids) = fixture();
+        (SocialTubeServer::new(catalog, SimRng::seed(1)), chans, vids)
+    }
+
+    fn login(s: &mut SocialTubeServer, node: u32, subs: Vec<ChannelId>, out: &mut ServerOutbox) {
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(node),
+            Message::SubscriptionUpdate { subscribed: subs },
+            out,
+        );
+    }
+
+    #[test]
+    fn subscription_update_builds_membership_and_sends_digests() {
+        let (mut s, chans, _) = server();
+        let mut out = ServerOutbox::new();
+        login(&mut s, 1, vec![chans[0]], &mut out);
+        assert_eq!(s.channel_members(chans[0]), &[NodeId::new(1)]);
+        assert_eq!(s.online_count(), 1);
+        assert!(out.commands().iter().any(|c| matches!(
+            c,
+            ServerCommand::ToPeer {
+                msg: Message::PopularityDigest { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn join_returns_channel_contact_for_subscribers() {
+        let (mut s, chans, vids) = server();
+        let mut out = ServerOutbox::new();
+        login(&mut s, 1, vec![chans[0]], &mut out);
+        login(&mut s, 2, vec![chans[0]], &mut out);
+        out.drain();
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(2),
+            Message::JoinRequest { video: vids[0] },
+            &mut out,
+        );
+        let response = out
+            .commands()
+            .iter()
+            .find_map(|c| match c {
+                ServerCommand::ToPeer {
+                    msg:
+                        Message::JoinResponse {
+                            channel_contacts, ..
+                        },
+                    ..
+                } => Some(channel_contacts.clone()),
+                _ => None,
+            })
+            .expect("join response");
+        assert_eq!(response, vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn first_subscriber_gets_no_contact_but_joins_overlay() {
+        let (mut s, chans, vids) = server();
+        let mut out = ServerOutbox::new();
+        login(&mut s, 1, vec![chans[0]], &mut out);
+        out.drain();
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(1),
+            Message::JoinRequest { video: vids[0] },
+            &mut out,
+        );
+        let contact = out
+            .commands()
+            .iter()
+            .find_map(|c| match c {
+                ServerCommand::ToPeer {
+                    msg:
+                        Message::JoinResponse {
+                            channel_contacts, ..
+                        },
+                    ..
+                } => Some(channel_contacts.clone()),
+                _ => None,
+            })
+            .expect("join response");
+        assert!(contact.is_empty());
+        assert!(s.channel_members(chans[0]).contains(&NodeId::new(1)));
+    }
+
+    #[test]
+    fn join_returns_category_contacts_across_channels() {
+        let (mut s, chans, vids) = server();
+        let mut out = ServerOutbox::new();
+        login(&mut s, 1, vec![chans[1]], &mut out);
+        login(&mut s, 2, vec![chans[0]], &mut out);
+        out.drain();
+        // Node 2 joins for a chans[0] video; chans[1] has member node 1.
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(2),
+            Message::JoinRequest { video: vids[0] },
+            &mut out,
+        );
+        let contacts = out
+            .commands()
+            .iter()
+            .find_map(|c| match c {
+                ServerCommand::ToPeer {
+                    msg:
+                        Message::JoinResponse {
+                            category_contacts, ..
+                        },
+                    ..
+                } => Some(category_contacts.clone()),
+                _ => None,
+            })
+            .expect("join response");
+        assert_eq!(contacts, vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn non_subscriber_join_does_not_enter_overlay() {
+        let (mut s, chans, vids) = server();
+        let mut out = ServerOutbox::new();
+        login(&mut s, 1, vec![chans[1]], &mut out);
+        out.drain();
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(1),
+            Message::JoinRequest { video: vids[0] },
+            &mut out,
+        );
+        assert!(!s.channel_members(chans[0]).contains(&NodeId::new(1)));
+    }
+
+    #[test]
+    fn logoff_removes_membership() {
+        let (mut s, chans, _) = server();
+        let mut out = ServerOutbox::new();
+        login(&mut s, 1, vec![chans[0], chans[1]], &mut out);
+        assert_eq!(s.tracked_entries(), 2);
+        s.on_message(SimTime::ZERO, NodeId::new(1), Message::LogOff, &mut out);
+        assert_eq!(s.tracked_entries(), 0);
+        assert_eq!(s.online_count(), 0);
+    }
+
+    #[test]
+    fn video_request_serves_and_reports() {
+        let (mut s, _, vids) = server();
+        let mut out = ServerOutbox::new();
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(1),
+            Message::VideoRequest {
+                id: RequestId::new(NodeId::new(1), 0),
+                video: vids[0],
+                from_chunk: 0,
+                kind: TransferKind::Playback,
+            },
+            &mut out,
+        );
+        assert!(out
+            .commands()
+            .iter()
+            .any(|c| matches!(c, ServerCommand::ServeChunks { .. })));
+        assert!(out
+            .commands()
+            .iter()
+            .any(|c| matches!(c, ServerCommand::Report(Report::ServedFromOrigin { .. }))));
+    }
+
+    #[test]
+    fn prefetch_requests_are_not_reported_as_origin_serves() {
+        let (mut s, _, vids) = server();
+        let mut out = ServerOutbox::new();
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(1),
+            Message::VideoRequest {
+                id: RequestId::new(NodeId::new(1), 0),
+                video: vids[0],
+                from_chunk: 0,
+                kind: TransferKind::Prefetch,
+            },
+            &mut out,
+        );
+        assert!(out
+            .commands()
+            .iter()
+            .all(|c| !matches!(c, ServerCommand::Report(_))));
+    }
+
+    #[test]
+    fn resubscription_rehomes_membership() {
+        let (mut s, chans, _) = server();
+        let mut out = ServerOutbox::new();
+        login(&mut s, 1, vec![chans[0]], &mut out);
+        login(&mut s, 1, vec![chans[1]], &mut out);
+        assert!(s.channel_members(chans[0]).is_empty());
+        assert_eq!(s.channel_members(chans[1]), &[NodeId::new(1)]);
+    }
+
+    #[test]
+    fn category_contact_budget_is_respected() {
+        let mut b = CatalogBuilder::new();
+        let cat = b.add_category("k");
+        let mut chans = Vec::new();
+        let mut vids = Vec::new();
+        for i in 0..20 {
+            let c = b.add_channel(format!("c{i}"), [cat]);
+            vids.push(b.add_video(c, 100, 0));
+            chans.push(c);
+        }
+        let mut s = SocialTubeServer::new(Arc::new(b.build()), SimRng::seed(1));
+        s.set_max_category_contacts(3);
+        let mut out = ServerOutbox::new();
+        for (i, ch) in chans.iter().enumerate().skip(1) {
+            login(&mut s, i as u32 + 100, vec![*ch], &mut out);
+        }
+        out.drain();
+        s.on_message(
+            SimTime::ZERO,
+            NodeId::new(1),
+            Message::JoinRequest { video: vids[0] },
+            &mut out,
+        );
+        let contacts = out
+            .commands()
+            .iter()
+            .find_map(|c| match c {
+                ServerCommand::ToPeer {
+                    msg:
+                        Message::JoinResponse {
+                            category_contacts, ..
+                        },
+                    ..
+                } => Some(category_contacts.len()),
+                _ => None,
+            })
+            .expect("join response");
+        assert_eq!(contacts, 3);
+    }
+}

@@ -1,0 +1,653 @@
+//! The discrete-event simulation driver (the PeerSim role).
+//!
+//! Owns everything the sans-IO protocol machines do not: the virtual clock,
+//! message delivery with propagation latency, per-peer upload links, the
+//! server's bounded pipe, session churn, and video selection. Any
+//! [`VodPeer`]/[`VodServer`] pair runs unmodified under it.
+
+use std::sync::Arc;
+
+use socialtube::{
+    Command, Message, Outbox, PeerAddr, Report, ServerCommand, ServerOutbox, SocialTubeConfig,
+    SocialTubePeer, SocialTubeServer, TimerKind, TransferKind, VodPeer, VodServer,
+};
+use socialtube_baselines::{NetTubeConfig, NetTubePeer, NetTubeServer, PaVodPeer, PaVodServer};
+use socialtube_model::{Catalog, NodeId, VideoId};
+use socialtube_sim::{
+    ChurnProcess, Engine, LatencyModel, PeriodicSampler, ServerQueue, SimDuration, SimRng,
+    SimTime, UploadScheduler,
+};
+use socialtube_trace::{generate, Trace};
+
+use crate::configs::ExperimentOptions;
+use crate::metrics::{MetricsCollector, MetricsSummary};
+use crate::workload::WorkloadPlanner;
+use crate::Protocol;
+
+/// Events the driver schedules on the engine.
+#[derive(Debug)]
+enum Ev {
+    /// A node begins a session.
+    Login(NodeId),
+    /// A node's session ends.
+    Logout(NodeId),
+    /// A node selects its next video.
+    NextVideo(NodeId),
+    /// The current video finished playing.
+    WatchEnd(NodeId),
+    /// A message arrives at a peer.
+    PeerMsg {
+        to: NodeId,
+        from: PeerAddr,
+        msg: Message,
+    },
+    /// A message arrives at the server.
+    ServerMsg { from: NodeId, msg: Message },
+    /// A peer timer fires.
+    PeerTimer { node: NodeId, kind: TimerKind },
+}
+
+/// Per-node session bookkeeping.
+#[derive(Debug)]
+struct NodeState {
+    churn: ChurnProcess,
+    videos_left_in_session: u32,
+    videos_watched_total: u32,
+    current_video: Option<VideoId>,
+    awaiting_playback: bool,
+    /// The next session end is an abrupt failure, not a graceful logoff.
+    abrupt_next: bool,
+}
+
+/// Result of one simulation run.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// The evaluation metrics.
+    pub metrics: MetricsSummary,
+    /// Events processed by the engine.
+    pub events: u64,
+    /// Simulated time at which the run drained.
+    pub sim_end: SimTime,
+    /// Total bits the server's origin store uploaded.
+    pub server_bits_served: u64,
+    /// Peak number of entries the server tracked (SocialTube: channel
+    /// memberships; NetTube: per-video overlay entries).
+    pub server_tracked_peak: usize,
+    /// Jain's fairness index over per-peer upload contribution (`None`
+    /// when no peer uploaded anything). Closer to 1 means the serving
+    /// burden spreads evenly across the community.
+    pub upload_fairness: Option<f64>,
+    /// Server upload-queue backlog sampled once per simulated minute
+    /// (`(minute, backlog)`): the server-overload signal behind the
+    /// paper's long PA-VoD startup delays.
+    pub server_backlog_timeline: Vec<(u64, SimDuration)>,
+    /// True if the run hit the `max_events` safety valve.
+    pub truncated: bool,
+}
+
+/// Generates the trace from `options` and runs `protocol` over it.
+///
+/// Use [`run_simulation_on`] to reuse one trace across protocol variants
+/// (as the paper does — all protocols see the same workload).
+pub fn run_simulation(protocol: Protocol, options: &ExperimentOptions) -> SimOutcome {
+    let trace = generate(&options.trace, options.seed);
+    run_simulation_on(&trace, protocol, options)
+}
+
+fn build_peers(
+    trace: &Trace,
+    protocol: Protocol,
+    options: &ExperimentOptions,
+    root: &SimRng,
+    catalog: &Arc<Catalog>,
+) -> (Vec<Box<dyn VodPeer>>, Box<dyn VodServer>) {
+    let users = trace.graph.user_count();
+    let mut peers: Vec<Box<dyn VodPeer>> = Vec::with_capacity(users);
+    match protocol {
+        Protocol::SocialTube | Protocol::SocialTubeNoPrefetch => {
+            let config = SocialTubeConfig {
+                prefetch: protocol == Protocol::SocialTube,
+                ..options.socialtube.clone()
+            };
+            for u in 0..users {
+                let node = NodeId::new(u as u32);
+                let subs = trace
+                    .graph
+                    .user(node)
+                    .map(|x| x.subscriptions().to_vec())
+                    .unwrap_or_default();
+                peers.push(Box::new(SocialTubePeer::new(
+                    node,
+                    Arc::clone(catalog),
+                    subs,
+                    config.clone(),
+                )));
+            }
+            let server = SocialTubeServer::new(Arc::clone(catalog), root.stream("server"));
+            (peers, Box::new(server))
+        }
+        Protocol::NetTube | Protocol::NetTubeNoPrefetch => {
+            let config = NetTubeConfig {
+                prefetch: protocol == Protocol::NetTube,
+                ..options.nettube.clone()
+            };
+            for u in 0..users {
+                let node = NodeId::new(u as u32);
+                peers.push(Box::new(NetTubePeer::new(
+                    node,
+                    Arc::clone(catalog),
+                    config.clone(),
+                    root.stream_indexed("nettube-peer", u as u64),
+                )));
+            }
+            let server = NetTubeServer::new(Arc::clone(catalog), root.stream("server"));
+            (peers, Box::new(server))
+        }
+        Protocol::PaVod => {
+            for u in 0..users {
+                let node = NodeId::new(u as u32);
+                peers.push(Box::new(PaVodPeer::new(
+                    node,
+                    Arc::clone(catalog),
+                    options.pavod.clone(),
+                )));
+            }
+            let server = PaVodServer::new(Arc::clone(catalog), root.stream("server"));
+            (peers, Box::new(server))
+        }
+    }
+}
+
+/// Runs `protocol` over an existing `trace`.
+pub fn run_simulation_on(
+    trace: &Trace,
+    protocol: Protocol,
+    options: &ExperimentOptions,
+) -> SimOutcome {
+    let root = SimRng::seed(options.seed ^ 0x50c1_a17b);
+    let catalog = Arc::new(trace.catalog.clone());
+    let users = trace.graph.user_count();
+
+    let (mut peers, mut server) = build_peers(trace, protocol, options, &root, &catalog);
+    let mut planner = WorkloadPlanner::new(root.stream("workload"));
+    let latency = LatencyModel::new(
+        &root,
+        options.network.latency_min,
+        options.network.latency_max,
+    );
+    let mut uploads = UploadScheduler::new(users, options.network.peer_upload_bps);
+    let mut server_queue = ServerQueue::new(options.network.server_bandwidth_bps);
+    let mut metrics = MetricsCollector::new(users);
+    let mut engine: Engine<Ev> = Engine::new();
+    let mut tracked_peak = 0usize;
+
+    // Per-node session plans: staggered first logins.
+    let mut nodes: Vec<NodeState> = Vec::with_capacity(users);
+    let mut stagger_rng = root.stream("stagger");
+    for u in 0..users {
+        use rand::Rng;
+        // The first session starts at the stagger offset; the churn process
+        // only supplies the off periods *between* sessions, hence `n - 1`.
+        let churn = ChurnProcess::new(
+            root.stream_indexed("churn", u as u64),
+            options.workload.mean_off,
+            options.workload.sessions_per_node.saturating_sub(1),
+        );
+        nodes.push(NodeState {
+            churn,
+            videos_left_in_session: 0,
+            videos_watched_total: 0,
+            current_video: None,
+            awaiting_playback: false,
+            abrupt_next: false,
+        });
+        let offset = SimDuration::from_micros(
+            stagger_rng.gen_range(0..=options.workload.login_stagger.as_micros().max(1)),
+        );
+        engine.schedule_at(SimTime::ZERO + offset, Ev::Login(NodeId::new(u as u32)));
+    }
+
+    let mut outbox = Outbox::new();
+    let mut server_outbox = ServerOutbox::new();
+    let mut fail_rng = root.stream("failures");
+    let mut backlog_sampler = PeriodicSampler::new(SimDuration::from_mins(1));
+    let mut server_backlog_timeline: Vec<(u64, SimDuration)> = Vec::new();
+    let mut truncated = false;
+
+    while let Some((now, ev)) = engine.next_event() {
+        if options.max_events > 0 && engine.processed() > options.max_events {
+            truncated = true;
+            break;
+        }
+        if backlog_sampler.due(now) > 0 {
+            let minute = now.as_micros() / 60_000_000;
+            server_backlog_timeline.push((minute, server_queue.backlog(now)));
+        }
+        // The peer whose commands the outbox will carry after this event.
+        let mut actor: Option<NodeId> = None;
+        match ev {
+            Ev::Login(node) => {
+                actor = Some(node);
+                nodes[node.index()].videos_left_in_session = options.workload.videos_per_session;
+                // Decide this session's exit mode up front (deterministic).
+                nodes[node.index()].abrupt_next =
+                    fail_rng.chance(options.workload.abrupt_departure_prob);
+                peers[node.index()].on_login(now, &mut outbox);
+                engine.schedule_in(options.workload.browse_delay, Ev::NextVideo(node));
+            }
+
+            Ev::Logout(node) => {
+                actor = Some(node);
+                peers[node.index()].on_logout(now, &mut outbox);
+                if nodes[node.index()].abrupt_next {
+                    // Abrupt failure: the process died before any goodbye
+                    // could leave the machine. Dropping the outbox models
+                    // exactly that — neighbors and the server only learn of
+                    // the departure through probe timeouts.
+                    outbox.drain();
+                    actor = None;
+                }
+                if let Some(off) = nodes[node.index()].churn.next_off_period() {
+                    engine.schedule_in(off, Ev::Login(node));
+                }
+            }
+
+            Ev::NextVideo(node) => {
+                actor = Some(node);
+                if peers[node.index()].is_online() {
+                    let prev = nodes[node.index()].current_video;
+                    if let Some(video) = planner.next_video(trace, node, prev) {
+                        nodes[node.index()].current_video = Some(video);
+                        nodes[node.index()].awaiting_playback = true;
+                        peers[node.index()].watch(now, video, &mut outbox);
+                    }
+                }
+            }
+
+            Ev::WatchEnd(node) => {
+                if peers[node.index()].is_online() {
+                    if nodes[node.index()].videos_left_in_session > 0 {
+                        engine.schedule_in(options.workload.browse_delay, Ev::NextVideo(node));
+                    } else {
+                        engine.schedule_at(now, Ev::Logout(node));
+                    }
+                }
+            }
+
+            Ev::PeerMsg { to, from, msg } => {
+                actor = Some(to);
+                if peers[to.index()].is_online() {
+                    peers[to.index()].on_message(now, from, msg, &mut outbox);
+                }
+            }
+
+            Ev::ServerMsg { from, msg } => {
+                server.on_message(now, from, msg, &mut server_outbox);
+                tracked_peak = tracked_peak.max(server.tracked_entries());
+            }
+
+            Ev::PeerTimer { node, kind } => {
+                actor = Some(node);
+                peers[node.index()].on_timer(now, kind, &mut outbox);
+            }
+        }
+
+        if let Some(actor) = actor {
+            flush_peer_commands(
+                actor,
+                now,
+                &mut outbox,
+                &mut engine,
+                &latency,
+                &mut uploads,
+                &mut metrics,
+                &mut nodes,
+                &peers,
+                &catalog,
+            );
+        }
+        flush_server_commands(
+            now,
+            &mut server_outbox,
+            &mut engine,
+            &latency,
+            &mut server_queue,
+            &mut metrics,
+            &catalog,
+        );
+    }
+
+    let contributions: Vec<f64> = (0..users)
+        .map(|u| uploads.bits_uploaded(u) as f64)
+        .collect();
+    SimOutcome {
+        metrics: metrics.summary(),
+        events: engine.processed(),
+        sim_end: engine.now(),
+        server_bits_served: server_queue.bits_served(),
+        server_tracked_peak: tracked_peak,
+        upload_fairness: socialtube_trace::stats::jain_fairness(&contributions),
+        server_backlog_timeline,
+        truncated,
+    }
+}
+
+/// Applies a peer's queued commands: schedules deliveries with latency and
+/// upload-link serialization, arms timers, and routes reports into both the
+/// metrics and the session state machine.
+#[allow(clippy::too_many_arguments)]
+fn flush_peer_commands(
+    actor: NodeId,
+    now: SimTime,
+    outbox: &mut Outbox,
+    engine: &mut Engine<Ev>,
+    latency: &LatencyModel,
+    uploads: &mut UploadScheduler,
+    metrics: &mut MetricsCollector,
+    nodes: &mut [NodeState],
+    peers: &[Box<dyn VodPeer>],
+    catalog: &Arc<Catalog>,
+) {
+    for cmd in outbox.drain() {
+        match cmd {
+            Command::ToPeer { to, msg } => {
+                // Bulk data is serialized through the sender's upload link;
+                // signalling pays only propagation delay.
+                let ready = if msg.is_bulk() {
+                    let bits = match &msg {
+                        Message::ChunkData { bits, .. } => *bits,
+                        _ => 0,
+                    };
+                    uploads.upload(actor.index(), now, bits)
+                } else {
+                    now
+                };
+                let arrival = ready + latency.delay(actor.as_u32(), to.as_u32());
+                engine.schedule_at(
+                    arrival,
+                    Ev::PeerMsg {
+                        to,
+                        from: PeerAddr::Peer(actor),
+                        msg,
+                    },
+                );
+            }
+            Command::ToServer { msg } => {
+                let arrival = now + latency.server_delay(actor.as_u32());
+                engine.schedule_at(arrival, Ev::ServerMsg { from: actor, msg });
+            }
+            Command::Timer { delay, kind } => {
+                engine.schedule_in(delay, Ev::PeerTimer { node: actor, kind });
+            }
+            Command::Report(report) => {
+                metrics.on_report(now, report);
+                if let Report::PlaybackStarted { node, video, .. } = report {
+                    on_playback_started(node, video, engine, metrics, nodes, peers, catalog);
+                }
+            }
+        }
+    }
+}
+
+/// Driver-side bookkeeping when a playback begins: advance the session,
+/// sample maintenance overhead, and schedule the end of the watch.
+fn on_playback_started(
+    node: NodeId,
+    video: VideoId,
+    engine: &mut Engine<Ev>,
+    metrics: &mut MetricsCollector,
+    nodes: &mut [NodeState],
+    peers: &[Box<dyn VodPeer>],
+    catalog: &Arc<Catalog>,
+) {
+    let state = &mut nodes[node.index()];
+    if !state.awaiting_playback || state.current_video != Some(video) {
+        return; // stale (e.g. a background fetch completing late)
+    }
+    state.awaiting_playback = false;
+    state.videos_left_in_session = state.videos_left_in_session.saturating_sub(1);
+    state.videos_watched_total += 1;
+    metrics.sample_links(state.videos_watched_total, peers[node.index()].link_count());
+    let length = catalog
+        .video(video)
+        .map(|v| SimDuration::from_secs(u64::from(v.length_secs())))
+        .unwrap_or(SimDuration::from_secs(60));
+    engine.schedule_in(length, Ev::WatchEnd(node));
+}
+
+/// Applies the server's queued commands: control replies pay propagation
+/// delay; origin chunks serialize through the server's bounded pipe first.
+fn flush_server_commands(
+    now: SimTime,
+    outbox: &mut ServerOutbox,
+    engine: &mut Engine<Ev>,
+    latency: &LatencyModel,
+    server_queue: &mut ServerQueue,
+    metrics: &mut MetricsCollector,
+    catalog: &Arc<Catalog>,
+) {
+    for cmd in outbox.drain() {
+        match cmd {
+            ServerCommand::ToPeer { to, msg } => {
+                let arrival = now + latency.server_delay(to.as_u32());
+                engine.schedule_at(
+                    arrival,
+                    Ev::PeerMsg {
+                        to,
+                        from: PeerAddr::Server,
+                        msg,
+                    },
+                );
+            }
+            ServerCommand::ServeChunks {
+                to,
+                id,
+                video,
+                from_chunk,
+                kind,
+            } => {
+                let Ok(v) = catalog.video(video) else {
+                    continue;
+                };
+                let total = v.chunk_count();
+                let bits = v.chunk_size_bits();
+                let last = match kind {
+                    TransferKind::Prefetch => from_chunk,
+                    TransferKind::Playback => total.saturating_sub(1),
+                };
+                for chunk in from_chunk..=last.min(total.saturating_sub(1)) {
+                    let ready = server_queue.serve(now, bits);
+                    let arrival = ready + latency.server_delay(to.as_u32());
+                    engine.schedule_at(
+                        arrival,
+                        Ev::PeerMsg {
+                            to,
+                            from: PeerAddr::Server,
+                            msg: Message::ChunkData {
+                                id,
+                                video,
+                                chunk,
+                                bits,
+                                kind,
+                            },
+                        },
+                    );
+                }
+            }
+            ServerCommand::Report(report) => metrics.on_report(now, report),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+
+    fn smoke(protocol: Protocol) -> SimOutcome {
+        run_simulation(protocol, &configs::smoke_test())
+    }
+
+    #[test]
+    fn socialtube_smoke_run_completes() {
+        let out = smoke(Protocol::SocialTube);
+        assert!(!out.truncated, "run hit the event safety valve");
+        assert!(out.metrics.playbacks > 0);
+        assert!(out.events > 0);
+        // Every node watched sessions × videos (smoke config: 2 × 4 = 8).
+        let expected = 200 * 2 * 4;
+        let got = out.metrics.playbacks;
+        assert!(
+            (expected as f64 * 0.9..=expected as f64 * 1.01).contains(&(got as f64)),
+            "playbacks {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn all_protocols_complete_under_churn() {
+        for p in Protocol::ALL {
+            let out = smoke(p);
+            assert!(out.metrics.playbacks > 0, "{p} produced no playbacks");
+            assert!(!out.truncated, "{p} truncated");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = smoke(Protocol::SocialTube);
+        let b = smoke(Protocol::SocialTube);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.sim_end, b.sim_end);
+    }
+
+    #[test]
+    fn socialtube_beats_pavod_on_peer_bandwidth() {
+        let st = smoke(Protocol::SocialTube);
+        let pv = smoke(Protocol::PaVod);
+        assert!(
+            st.metrics.mean_peer_bandwidth > pv.metrics.mean_peer_bandwidth,
+            "SocialTube {} <= PA-VoD {}",
+            st.metrics.mean_peer_bandwidth,
+            pv.metrics.mean_peer_bandwidth
+        );
+    }
+
+    #[test]
+    fn prefetching_reduces_startup_delay() {
+        // Prefetching needs warm community caches to draw from; use the
+        // longer workload (the paper's runs are 25-session steady state).
+        let options = configs::smoke_test_long();
+        let with = run_simulation(Protocol::SocialTube, &options);
+        let without = run_simulation(Protocol::SocialTubeNoPrefetch, &options);
+        assert!(with.metrics.prefetch_hits > 0, "no prefetch hits at all");
+        assert!(
+            with.metrics.mean_startup_delay_ms <= without.metrics.mean_startup_delay_ms,
+            "prefetch did not help: {} vs {}",
+            with.metrics.mean_startup_delay_ms,
+            without.metrics.mean_startup_delay_ms
+        );
+    }
+
+    #[test]
+    fn nettube_accumulates_more_links_than_socialtube() {
+        // The crossover needs long viewing histories (Fig 15: NetTube is
+        // *cheaper* for small m and overtakes SocialTube as m grows).
+        let options = configs::smoke_test_long();
+        let st = run_simulation(Protocol::SocialTube, &options);
+        let nt = run_simulation(Protocol::NetTube, &options);
+        assert!(
+            nt.metrics.steady_state_links() > st.metrics.steady_state_links(),
+            "NetTube links {} <= SocialTube links {}",
+            nt.metrics.steady_state_links(),
+            st.metrics.steady_state_links()
+        );
+    }
+
+    #[test]
+    fn pavod_maintains_essentially_no_links() {
+        let pv = smoke(Protocol::PaVod);
+        assert!(pv.metrics.steady_state_links() < 2.0);
+    }
+
+    #[test]
+    fn abrupt_failures_do_not_stall_the_system() {
+        // Half of all sessions end in crashes: no Leave, no LogOff. The
+        // overlays must repair through probing and the runs must still
+        // complete every playback.
+        let mut options = configs::smoke_test_long();
+        options.workload.abrupt_departure_prob = 0.5;
+        for p in [Protocol::SocialTube, Protocol::NetTube, Protocol::PaVod] {
+            let out = run_simulation(p, &options);
+            let expected = 150 * 3 * 10;
+            assert!(
+                out.metrics.playbacks as f64 >= f64::from(expected) * 0.95,
+                "{p}: only {} of {expected} playbacks under abrupt churn",
+                out.metrics.playbacks
+            );
+            assert!(!out.truncated, "{p} truncated");
+        }
+    }
+
+    #[test]
+    fn abrupt_failures_leave_link_budget_intact() {
+        let mut options = configs::smoke_test_long();
+        options.workload.abrupt_departure_prob = 0.7;
+        let out = run_simulation(Protocol::SocialTube, &options);
+        let bound = (options.socialtube.inner_links + options.socialtube.inter_links) as f64;
+        for (k, links) in &out.metrics.maintenance_curve {
+            assert!(
+                *links <= bound + 1e-9,
+                "link bound violated after {k} videos: {links}"
+            );
+        }
+        // Crashed providers must not sink peer bandwidth to zero: probing
+        // repairs the overlay between sessions.
+        assert!(
+            out.metrics.mean_peer_bandwidth > 0.3,
+            "peer bandwidth collapsed under churn: {}",
+            out.metrics.mean_peer_bandwidth
+        );
+    }
+
+    #[test]
+    fn server_backlog_timeline_is_sampled_and_monotone_in_time() {
+        let out = run_simulation(Protocol::PaVod, &configs::smoke_test());
+        assert!(
+            !out.server_backlog_timeline.is_empty(),
+            "no backlog samples taken"
+        );
+        for w in out.server_backlog_timeline.windows(2) {
+            assert!(w[0].0 < w[1].0, "minutes must increase");
+        }
+        // PA-VoD stresses the server: some backlog must be visible.
+        let max = out
+            .server_backlog_timeline
+            .iter()
+            .map(|(_, b)| b.as_millis())
+            .max()
+            .unwrap_or(0);
+        assert!(max > 0, "PA-VoD never queued at the server");
+    }
+
+    #[test]
+    fn upload_burden_is_reasonably_fair_in_socialtube() {
+        let out = run_simulation(Protocol::SocialTube, &configs::smoke_test_long());
+        let fairness = out.upload_fairness.expect("peers uploaded");
+        // Zipf-skewed popularity concentrates serving on popular-video
+        // holders, but the community structure must keep a broad base of
+        // providers (index far above the one-super-seeder regime 1/n).
+        assert!(
+            fairness > 0.2,
+            "upload burden collapsed onto few peers: {fairness}"
+        );
+    }
+
+    #[test]
+    fn server_serves_all_bits_peers_do_not() {
+        let out = smoke(Protocol::PaVod);
+        // PA-VoD leans on the server heavily: server bits dominate.
+        assert!(out.server_bits_served > 0);
+        assert!(out.metrics.total_server_bits > out.metrics.total_peer_bits / 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Trace-driven experiment harness for the SocialTube evaluation.
+//!
+//! Reassembles the paper's Section V methodology:
+//!
+//! * [`workload`] — the viewing model: each node runs a fixed number of
+//!   sessions of ten videos, with Poisson off-times; each next video is
+//!   picked 75% from the same channel, 15% from the same category, 10%
+//!   from a different category.
+//! * [`driver`] — the discrete-event simulation driver (PeerSim role):
+//!   binds any [`VodPeer`](socialtube::VodPeer)/[`VodServer`](socialtube::VodServer)
+//!   pair to the engine, modelling propagation latency, per-peer upload
+//!   links and the server's bounded pipe.
+//! * [`metrics`] — the three evaluation metrics: startup delay, normalized
+//!   peer bandwidth (1st/50th/99th percentiles), and overlay maintenance
+//!   overhead versus videos watched.
+//! * [`configs`] — Table I parameters and the scaled-down
+//!   PlanetLab-style configuration.
+//! * [`figures`] — one runner per evaluation figure (16, 17, 18 and the
+//!   analytical 15), each returning the series the paper plots.
+//!
+//! # Examples
+//!
+//! Run a small SocialTube simulation end to end:
+//!
+//! ```
+//! use socialtube_experiments::{configs, driver, Protocol};
+//!
+//! let options = configs::smoke_test();
+//! let outcome = driver::run_simulation(Protocol::SocialTube, &options);
+//! assert!(outcome.metrics.playbacks > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod configs;
+pub mod driver;
+pub mod figures;
+pub mod metrics;
+pub mod net_driver;
+pub mod workload;
+
+pub use configs::{ExperimentOptions, NetworkOptions};
+pub use driver::{run_simulation, SimOutcome};
+pub use metrics::{MetricsCollector, MetricsSummary};
+pub use net_driver::{run_net, NetExperimentOptions, NetRun};
+pub use workload::{SelectionMix, WorkloadConfig, WorkloadPlanner};
+
+/// Which protocol variant an experiment runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// SocialTube with channel-facilitated prefetching.
+    SocialTube,
+    /// SocialTube with prefetching disabled (Fig 17 "w/o PF").
+    SocialTubeNoPrefetch,
+    /// NetTube with random-neighbor prefetching.
+    NetTube,
+    /// NetTube with prefetching disabled.
+    NetTubeNoPrefetch,
+    /// PA-VoD (no overlay, no cache, no prefetching).
+    PaVod,
+}
+
+impl Protocol {
+    /// All variants, in the order the paper's figures present them.
+    pub const ALL: [Protocol; 5] = [
+        Protocol::PaVod,
+        Protocol::SocialTube,
+        Protocol::SocialTubeNoPrefetch,
+        Protocol::NetTube,
+        Protocol::NetTubeNoPrefetch,
+    ];
+
+    /// Display label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::SocialTube => "SocialTube w/ PF",
+            Protocol::SocialTubeNoPrefetch => "SocialTube w/o PF",
+            Protocol::NetTube => "NetTube w/ PF",
+            Protocol::NetTubeNoPrefetch => "NetTube w/o PF",
+            Protocol::PaVod => "PA-VoD",
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}

@@ -1,0 +1,282 @@
+//! Driving the TCP testbed (the PlanetLab experiment) with the paper's
+//! workload, and folding its events into the common metrics.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use socialtube::{Report, SocialTubeConfig, SocialTubePeer, SocialTubeServer, VodPeer, VodServer};
+use socialtube_baselines::{NetTubeConfig, NetTubePeer, NetTubeServer, PaVodPeer, PaVodServer};
+use socialtube_model::NodeId;
+use socialtube_net::testbed::{NetOutcome, Testbed, TestbedConfig};
+use socialtube_sim::{SimDuration, SimRng};
+use socialtube_trace::{generate, Trace, TraceConfig};
+
+use crate::metrics::{MetricsCollector, MetricsSummary};
+use crate::workload::WorkloadPlanner;
+use crate::Protocol;
+
+/// Parameters of one TCP-testbed experiment.
+#[derive(Clone, Debug)]
+pub struct NetExperimentOptions {
+    /// Root seed (trace, workload, latencies).
+    pub seed: u64,
+    /// Trace parameters — keep videos *small* (short, low bitrate) so
+    /// transfers complete at wall-clock speed.
+    pub trace: TraceConfig,
+    /// Real-time deployment parameters.
+    pub testbed: TestbedConfig,
+}
+
+impl NetExperimentOptions {
+    /// A seconds-scale deployment for tests and quick runs: 16 peers over a
+    /// small, hot catalog (so caches overlap within a few sessions),
+    /// 4-second 64 kbps videos, compressed session pacing, and a server
+    /// pipe sized to be the bottleneck the P2P overlays relieve.
+    pub fn smoke_test() -> Self {
+        let trace = TraceConfig {
+            users: 16,
+            channels: 3,
+            categories: 2,
+            videos: 15,
+            video_length_median_secs: 4.0,
+            video_length_cap_secs: 8,
+            bitrate_kbps: 64,
+            subscriptions_mean: 2.0,
+            ..TraceConfig::default()
+        };
+        let testbed = TestbedConfig {
+            sessions_per_node: 3,
+            videos_per_session: 4,
+            watch_dwell: Duration::from_millis(120),
+            browse_delay: Duration::from_millis(40),
+            off_time: Duration::from_millis(250),
+            server_bandwidth_bps: 4_000_000,
+            peer_upload_bps: 8_000_000,
+            ..TestbedConfig::default()
+        };
+        Self {
+            seed: 42,
+            trace,
+            testbed,
+        }
+    }
+
+    /// The paper's PlanetLab shape scaled to one machine: 60 peers,
+    /// 6 categories × 10 channels × 40 videos per the Section V layout
+    /// (peer count reduced from 250 — at ~6 OS threads per daemon a larger
+    /// deployment thrashes a laptop), 5 sessions of 5 videos.
+    pub fn planetlab_style() -> Self {
+        let trace = TraceConfig {
+            users: 60,
+            channels: 60,
+            categories: 6,
+            videos: 2_400,
+            video_length_median_secs: 4.0,
+            video_length_cap_secs: 8,
+            bitrate_kbps: 64,
+            ..TraceConfig::default()
+        };
+        let testbed = TestbedConfig {
+            sessions_per_node: 5,
+            videos_per_session: 5,
+            watch_dwell: Duration::from_millis(150),
+            browse_delay: Duration::from_millis(50),
+            off_time: Duration::from_millis(400),
+            server_bandwidth_bps: 8_000_000,
+            peer_upload_bps: 2_000_000,
+            ..TestbedConfig::default()
+        };
+        Self {
+            seed: 42,
+            trace,
+            testbed,
+        }
+    }
+}
+
+/// Outcome of one testbed run, reduced to the common metrics.
+#[derive(Debug)]
+pub struct NetRun {
+    /// The evaluation metrics (same structure as the simulation's).
+    pub metrics: MetricsSummary,
+    /// Raw testbed outcome.
+    pub outcome: NetOutcome,
+}
+
+/// Builds the protocol peers/server for `protocol` over `trace`.
+fn build(
+    trace: &Trace,
+    protocol: Protocol,
+    seed: u64,
+) -> (Vec<Box<dyn VodPeer + Send>>, Box<dyn VodServer + Send>) {
+    let catalog = Arc::new(trace.catalog.clone());
+    let root = SimRng::seed(seed ^ 0x6e65_7462u64);
+    let users = trace.graph.user_count();
+    match protocol {
+        Protocol::SocialTube | Protocol::SocialTubeNoPrefetch => {
+            let config = SocialTubeConfig {
+                prefetch: protocol == Protocol::SocialTube,
+                // Compress protocol timeouts to testbed latencies.
+                search_phase_timeout: SimDuration::from_millis(400),
+                probe_interval: SimDuration::from_secs(2),
+                probe_timeout: SimDuration::from_millis(600),
+                chunk_timeout: SimDuration::from_secs(3),
+                prefetch_delay: SimDuration::from_millis(100),
+                ..SocialTubeConfig::default()
+            };
+            let peers = (0..users)
+                .map(|u| {
+                    let node = NodeId::new(u as u32);
+                    let subs = trace
+                        .graph
+                        .user(node)
+                        .map(|x| x.subscriptions().to_vec())
+                        .unwrap_or_default();
+                    Box::new(SocialTubePeer::new(
+                        node,
+                        Arc::clone(&catalog),
+                        subs,
+                        config.clone(),
+                    )) as Box<dyn VodPeer + Send>
+                })
+                .collect();
+            let server = Box::new(SocialTubeServer::new(
+                Arc::clone(&catalog),
+                root.stream("server"),
+            ));
+            (peers, server)
+        }
+        Protocol::NetTube | Protocol::NetTubeNoPrefetch => {
+            let config = NetTubeConfig {
+                prefetch: protocol == Protocol::NetTube,
+                search_timeout: SimDuration::from_millis(400),
+                probe_interval: SimDuration::from_secs(2),
+                probe_timeout: SimDuration::from_millis(600),
+                chunk_timeout: SimDuration::from_secs(3),
+                prefetch_delay: SimDuration::from_millis(100),
+                ..NetTubeConfig::default()
+            };
+            let peers = (0..users)
+                .map(|u| {
+                    Box::new(NetTubePeer::new(
+                        NodeId::new(u as u32),
+                        Arc::clone(&catalog),
+                        config.clone(),
+                        root.stream_indexed("nettube-peer", u as u64),
+                    )) as Box<dyn VodPeer + Send>
+                })
+                .collect();
+            let server = Box::new(NetTubeServer::new(
+                Arc::clone(&catalog),
+                root.stream("server"),
+            ));
+            (peers, server)
+        }
+        Protocol::PaVod => {
+            let config = socialtube_baselines::PaVodConfig {
+                chunk_timeout: SimDuration::from_secs(3),
+                lookup_timeout: SimDuration::from_millis(800),
+                ..socialtube_baselines::PaVodConfig::default()
+            };
+            let peers = (0..users)
+                .map(|u| {
+                    Box::new(PaVodPeer::new(
+                        NodeId::new(u as u32),
+                        Arc::clone(&catalog),
+                        config.clone(),
+                    )) as Box<dyn VodPeer + Send>
+                })
+                .collect();
+            let server = Box::new(PaVodServer::new(
+                Arc::clone(&catalog),
+                root.stream("server"),
+            ));
+            (peers, server)
+        }
+    }
+}
+
+/// Runs `protocol` on the real TCP testbed and reduces the events to the
+/// common metrics.
+///
+/// # Panics
+///
+/// Panics if the deployment cannot bind localhost sockets.
+pub fn run_net(protocol: Protocol, options: &NetExperimentOptions) -> NetRun {
+    let trace = generate(&options.trace, options.seed);
+    run_net_on(&trace, protocol, options)
+}
+
+/// Runs `protocol` over an existing trace on the TCP testbed.
+///
+/// # Panics
+///
+/// Panics if the deployment cannot bind localhost sockets.
+pub fn run_net_on(trace: &Trace, protocol: Protocol, options: &NetExperimentOptions) -> NetRun {
+    let (peers, server) = build(trace, protocol, options.seed);
+    let catalog = Arc::new(trace.catalog.clone());
+    let planner = Mutex::new(WorkloadPlanner::new(
+        SimRng::seed(options.seed).stream("net-workload"),
+    ));
+    let outcome = Testbed::run(catalog, peers, server, &options.testbed, |node, prev| {
+        planner.lock().next_video(trace, node, prev)
+    })
+    .expect("testbed deployment binds localhost sockets");
+
+    // Reduce events to the common metrics.
+    let users = trace.graph.user_count();
+    let mut collector = MetricsCollector::new(users);
+    let mut watched = vec![0u32; users];
+    for event in &outcome.events {
+        collector.on_report(event.time, event.report);
+        if let Report::PlaybackStarted { node, .. } = event.report {
+            let i = node.index();
+            if i < users {
+                watched[i] += 1;
+                collector.sample_links(watched[i], event.links);
+            }
+        }
+    }
+    NetRun {
+        metrics: collector.summary(),
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn socialtube_testbed_run_produces_metrics() {
+        let options = NetExperimentOptions::smoke_test();
+        let run = run_net(Protocol::SocialTube, &options);
+        // 12 peers × 2 sessions × 3 videos = 72 expected playbacks; allow
+        // generous slack for watch timeouts under load.
+        assert!(
+            run.metrics.playbacks >= 50,
+            "playbacks {}",
+            run.metrics.playbacks
+        );
+        assert!(run.metrics.total_server_bits + run.metrics.total_peer_bits > 0);
+        assert!(!run.metrics.maintenance_curve.is_empty());
+    }
+
+    #[test]
+    fn pavod_testbed_leans_on_server() {
+        let options = NetExperimentOptions::smoke_test();
+        let run = run_net(Protocol::PaVod, &options);
+        assert!(
+            run.metrics.playbacks >= 50,
+            "playbacks {}",
+            run.metrics.playbacks
+        );
+        assert!(
+            run.metrics.total_server_bits >= run.metrics.total_peer_bits,
+            "PA-VoD should be server-heavy: server {} peer {}",
+            run.metrics.total_server_bits,
+            run.metrics.total_peer_bits
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! The viewing workload: session pacing and video selection.
+
+use socialtube_model::{ChannelId, NodeId, VideoId};
+use socialtube_sim::{SimDuration, SimRng};
+use socialtube_trace::Trace;
+
+use rand::Rng;
+
+/// Probabilities of the paper's video-selection mechanism (Section V):
+/// "a 75% chance of selecting a video in the same channel, a 15% chance of
+/// selecting a video in the same category, and a 10% chance of selecting a
+/// video in a different category".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SelectionMix {
+    /// Probability of staying in the current channel.
+    pub same_channel: f64,
+    /// Probability of moving within the current category.
+    pub same_category: f64,
+}
+
+impl SelectionMix {
+    /// The paper's 75/15/10 mix.
+    pub fn paper() -> Self {
+        Self {
+            same_channel: 0.75,
+            same_category: 0.15,
+        }
+    }
+
+    /// The implied probability of jumping to a different category.
+    pub fn other_category(&self) -> f64 {
+        (1.0 - self.same_channel - self.same_category).max(0.0)
+    }
+}
+
+/// Session structure parameters (Section V).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadConfig {
+    /// Sessions per node (simulation: 25; PlanetLab: 50).
+    pub sessions_per_node: u32,
+    /// Videos watched per session (paper: 10).
+    pub videos_per_session: u32,
+    /// Mean of the Poisson-distributed off period between sessions.
+    pub mean_off: SimDuration,
+    /// Think time between login (or a finished video) and the next request.
+    pub browse_delay: SimDuration,
+    /// Video-selection mix.
+    pub mix: SelectionMix,
+    /// Stagger window for initial logins (avoids a thundering herd at t=0).
+    pub login_stagger: SimDuration,
+    /// Probability that a session ends with an *abrupt failure* (browser
+    /// crash, network drop) instead of a graceful logoff: the node vanishes
+    /// without notifying neighbors or the server, leaving the overlay to
+    /// discover the failure through probing (Section IV-A structure
+    /// maintenance).
+    pub abrupt_departure_prob: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            sessions_per_node: 25,
+            videos_per_session: 10,
+            mean_off: SimDuration::from_secs(500),
+            browse_delay: SimDuration::from_secs(2),
+            mix: SelectionMix::paper(),
+            login_stagger: SimDuration::from_secs(500),
+            abrupt_departure_prob: 0.0,
+        }
+    }
+}
+
+/// Per-node video selection state: picks each next video according to the
+/// paper's mix, weighted by video popularity within the chosen scope.
+#[derive(Debug)]
+pub struct WorkloadPlanner {
+    rng: SimRng,
+}
+
+impl WorkloadPlanner {
+    /// Creates a planner with its own random stream.
+    pub fn new(rng: SimRng) -> Self {
+        Self { rng }
+    }
+
+    /// Picks the first video of a session for `node`: a popular video from
+    /// one of the node's subscribed channels (subscribers watch their
+    /// channels' videos — the trace-analysis observation O2), falling back
+    /// to a random channel for nodes without subscriptions.
+    pub fn first_video(&mut self, trace: &Trace, node: NodeId) -> Option<VideoId> {
+        let subs = trace
+            .graph
+            .user(node)
+            .map(|u| u.subscriptions().to_vec())
+            .unwrap_or_default();
+        let channel = if subs.is_empty() {
+            self.random_channel(trace)?
+        } else {
+            subs[self.rng.gen_range(0..subs.len())]
+        };
+        self.video_in_channel(trace, channel)
+    }
+
+    /// Picks the next video after `previous` using the 75/15/10 mix.
+    pub fn next_video(
+        &mut self,
+        trace: &Trace,
+        node: NodeId,
+        previous: Option<VideoId>,
+    ) -> Option<VideoId> {
+        let Some(prev) = previous else {
+            return self.first_video(trace, node);
+        };
+        let prev_channel = trace.catalog.video(prev).ok()?.channel();
+        let roll: f64 = self.rng.gen();
+        let mix = SelectionMix::paper();
+        if roll < mix.same_channel {
+            self.video_in_channel(trace, prev_channel)
+        } else if roll < mix.same_channel + mix.same_category {
+            let category = trace
+                .catalog
+                .channel(prev_channel)
+                .ok()?
+                .primary_category()?;
+            let channels = trace.catalog.channels_in_category(category);
+            let channel = *self.rng.pick(channels)?;
+            self.video_in_channel(trace, channel)
+        } else {
+            // Different category: uniform over channels not in the previous
+            // category (falls back to any channel in degenerate catalogs).
+            let prev_cat = trace.catalog.channel(prev_channel).ok()?.primary_category();
+            for _ in 0..16 {
+                let channel = self.random_channel(trace)?;
+                if trace.catalog.channel(channel).ok()?.primary_category() != prev_cat {
+                    return self.video_in_channel(trace, channel);
+                }
+            }
+            let ch = self.random_channel(trace)?;
+            self.video_in_channel(trace, ch)
+        }
+    }
+
+    /// Picks a video inside `channel`, weighted by view count (popular
+    /// videos are watched more — the within-channel Zipf of Fig 9).
+    pub fn video_in_channel(&mut self, trace: &Trace, channel: ChannelId) -> Option<VideoId> {
+        let videos = trace.catalog.channel(channel).ok()?.videos().to_vec();
+        if videos.is_empty() {
+            return None;
+        }
+        let weights: Vec<f64> = videos
+            .iter()
+            .map(|v| {
+                trace
+                    .catalog
+                    .video(*v)
+                    .map(|x| x.views() as f64 + 1.0)
+                    .unwrap_or(1.0)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut draw = self.rng.gen::<f64>() * total;
+        for (v, w) in videos.iter().zip(&weights) {
+            draw -= w;
+            if draw <= 0.0 {
+                return Some(*v);
+            }
+        }
+        videos.last().copied()
+    }
+
+    fn random_channel(&mut self, trace: &Trace) -> Option<ChannelId> {
+        let n = trace.catalog.channel_count();
+        if n == 0 {
+            return None;
+        }
+        Some(ChannelId::new(self.rng.gen_range(0..n as u32)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialtube_trace::{generate, TraceConfig};
+
+    fn trace() -> Trace {
+        generate(&TraceConfig::tiny(), 31)
+    }
+
+    #[test]
+    fn paper_mix_sums_to_one() {
+        let mix = SelectionMix::paper();
+        assert!((mix.same_channel + mix.same_category + mix.other_category() - 1.0).abs() < 1e-12);
+        assert!((mix.other_category() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_video_comes_from_subscriptions() {
+        let t = trace();
+        let mut planner = WorkloadPlanner::new(SimRng::seed(1));
+        for node_idx in 0..20u32 {
+            let node = NodeId::new(node_idx);
+            let video = planner.first_video(&t, node).expect("video picked");
+            let channel = t.catalog.video(video).unwrap().channel();
+            let user = t.graph.user(node).unwrap();
+            if !user.subscriptions().is_empty() {
+                assert!(
+                    user.is_subscribed(channel),
+                    "first video must come from a subscribed channel"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_mix_is_roughly_75_15_10() {
+        let t = trace();
+        let mut planner = WorkloadPlanner::new(SimRng::seed(2));
+        let node = NodeId::new(0);
+        let mut prev = planner.first_video(&t, node);
+        let mut same_channel = 0;
+        let mut same_category = 0;
+        let n = 3000;
+        for _ in 0..n {
+            let next = planner.next_video(&t, node, prev).expect("video picked");
+            let (pc, nc) = (
+                t.catalog.video(prev.unwrap()).unwrap().channel(),
+                t.catalog.video(next).unwrap().channel(),
+            );
+            if pc == nc {
+                same_channel += 1;
+            } else {
+                let pcat = t.catalog.channel(pc).unwrap().primary_category();
+                let ncat = t.catalog.channel(nc).unwrap().primary_category();
+                if pcat == ncat {
+                    same_category += 1;
+                }
+            }
+            prev = Some(next);
+        }
+        let frac_channel = same_channel as f64 / n as f64;
+        // Same-channel picks: 75% by mix, plus same-category picks that land
+        // on the same channel by chance.
+        assert!(
+            (0.70..0.85).contains(&frac_channel),
+            "channel frac {frac_channel}"
+        );
+        assert!(same_category > 0);
+    }
+
+    #[test]
+    fn videos_are_popularity_weighted() {
+        let t = trace();
+        let mut planner = WorkloadPlanner::new(SimRng::seed(3));
+        // Find a channel with at least 3 videos.
+        let channel = t
+            .catalog
+            .channels()
+            .find(|c| c.video_count() >= 3)
+            .expect("multi-video channel")
+            .id();
+        let top = t.catalog.top_videos(channel, 1)[0];
+        let mut top_picks = 0;
+        let n = 2000;
+        for _ in 0..n {
+            if planner.video_in_channel(&t, channel).unwrap() == top {
+                top_picks += 1;
+            }
+        }
+        let count = t.catalog.channel(channel).unwrap().video_count();
+        let uniform = n as f64 / count as f64;
+        assert!(
+            f64::from(top_picks) > 1.3 * uniform,
+            "top video picked {top_picks} times vs uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn planner_is_deterministic() {
+        let t = trace();
+        let mut a = WorkloadPlanner::new(SimRng::seed(7));
+        let mut b = WorkloadPlanner::new(SimRng::seed(7));
+        let mut pa = None;
+        let mut pb = None;
+        for _ in 0..50 {
+            pa = a.next_video(&t, NodeId::new(3), pa);
+            pb = b.next_video(&t, NodeId::new(3), pb);
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn default_workload_matches_paper() {
+        let w = WorkloadConfig::default();
+        assert_eq!(w.sessions_per_node, 25);
+        assert_eq!(w.videos_per_session, 10);
+        assert_eq!(w.mean_off, SimDuration::from_secs(500));
+    }
+}

@@ -1,0 +1,83 @@
+//! Wall-clock → protocol-time mapping.
+
+use std::time::Instant;
+
+use socialtube_sim::SimTime;
+
+/// Maps real elapsed time onto the [`SimTime`] axis the protocol state
+/// machines expect, so one peer implementation runs under both the
+/// simulator and the testbed.
+///
+/// # Examples
+///
+/// ```
+/// use socialtube_net::clock::TestbedClock;
+///
+/// let clock = TestbedClock::start();
+/// let a = clock.now();
+/// let b = clock.now();
+/// assert!(b >= a);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TestbedClock {
+    epoch: Instant,
+}
+
+impl TestbedClock {
+    /// Starts a clock at the current instant (time zero).
+    pub fn start() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Current protocol time: microseconds since the epoch.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Converts a protocol instant back to the wall-clock `Instant`.
+    pub fn instant_of(&self, t: SimTime) -> Instant {
+        self.epoch + std::time::Duration::from_micros(t.as_micros())
+    }
+
+    /// The epoch this clock started from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let clock = TestbedClock::start();
+        let mut last = clock.now();
+        for _ in 0..100 {
+            let t = clock.now();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn instant_round_trip() {
+        let clock = TestbedClock::start();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let t = clock.now();
+        let back = clock.instant_of(t);
+        let diff = back.duration_since(clock.epoch());
+        assert_eq!(diff.as_micros() as u64, t.as_micros());
+    }
+
+    #[test]
+    fn time_advances_with_sleep() {
+        let clock = TestbedClock::start();
+        let a = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let b = clock.now();
+        assert!(b.as_micros() - a.as_micros() >= 9_000);
+    }
+}

@@ -1,0 +1,37 @@
+//! Real TCP deployment of the VoD protocols — the PlanetLab substitute.
+//!
+//! The paper validated SocialTube on 250 PlanetLab hosts in addition to the
+//! PeerSim simulation. PlanetLab is retired, so this crate deploys the same
+//! sans-IO protocol state machines (`socialtube`, `socialtube-baselines`)
+//! over **real TCP sockets on localhost**, with per-link artificial latency
+//! standing in for geographic spread:
+//!
+//! * [`wire`] — a hand-rolled length-prefixed binary codec for every
+//!   protocol [`Message`](socialtube::Message);
+//! * [`clock`] — maps wall-clock time onto the protocol's
+//!   [`SimTime`](socialtube_sim::SimTime) axis;
+//! * [`delay`] — a timer/delay queue thread used for protocol timers,
+//!   latency injection and bandwidth pacing;
+//! * [`transport`] — framed connections and an outgoing-connection cache;
+//! * [`daemon`] — one OS-thread-backed daemon per peer plus the
+//!   tracker/origin server daemon (bounded upload pacing);
+//! * [`testbed`] — spawns a whole deployment in-process, drives a viewing
+//!   workload in real time, and collects the protocol reports the metrics
+//!   pipeline consumes.
+//!
+//! Real sockets keep what the paper went to PlanetLab for — actual
+//! transmission and connection failures, head-of-line queueing, racing
+//! messages — while the latency model recreates the wide-area delay spread.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clock;
+pub mod daemon;
+pub mod delay;
+pub mod testbed;
+pub mod transport;
+pub mod wire;
+
+pub use testbed::{NetOutcome, Testbed, TestbedConfig};
+pub use wire::{decode_frame, encode_frame, Frame, WireError};

@@ -1,0 +1,424 @@
+//! In-process testbed: a full deployment over real sockets, driven in real
+//! time — the PlanetLab experiment.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+use socialtube::{ChunkSource, Report, VodPeer, VodServer};
+use socialtube_model::{Catalog, NodeId, VideoId};
+use socialtube_sim::{LatencyModel, SimDuration, SimRng};
+
+use crate::clock::TestbedClock;
+use crate::daemon::{NetEvent, PeerDaemon, ServerDaemon};
+use crate::transport::Registry;
+
+/// Real-time parameters of a testbed run.
+///
+/// Video *sizes* come from the catalog; keep them small (short lengths, low
+/// bitrate) so transfers complete at wall-clock speed. The dwell times
+/// compress the paper's session structure into seconds.
+#[derive(Clone, Debug)]
+pub struct TestbedConfig {
+    /// Seed for latency assignment and any per-run randomness.
+    pub seed: u64,
+    /// Per-peer upload capacity in bits/second.
+    pub peer_upload_bps: u64,
+    /// Server upload capacity in bits/second.
+    pub server_bandwidth_bps: u64,
+    /// Minimum one-way injected latency.
+    pub latency_min: SimDuration,
+    /// Maximum one-way injected latency.
+    pub latency_max: SimDuration,
+    /// Sessions per node.
+    pub sessions_per_node: u32,
+    /// Videos per session.
+    pub videos_per_session: u32,
+    /// Real time between a playback start and the next request (stands in
+    /// for the playback duration).
+    pub watch_dwell: Duration,
+    /// Real think-time after login before the first request.
+    pub browse_delay: Duration,
+    /// Real off-time between sessions.
+    pub off_time: Duration,
+    /// Give up waiting for a playback after this long (dead-provider or
+    /// lost-message safety net; generous relative to injected latencies).
+    pub watch_timeout: Duration,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            peer_upload_bps: 20_000_000,
+            server_bandwidth_bps: 50_000_000,
+            latency_min: SimDuration::from_millis(10),
+            latency_max: SimDuration::from_millis(60),
+            sessions_per_node: 2,
+            videos_per_session: 3,
+            watch_dwell: Duration::from_millis(150),
+            browse_delay: Duration::from_millis(50),
+            off_time: Duration::from_millis(300),
+            watch_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Everything a testbed run produced.
+#[derive(Debug)]
+pub struct NetOutcome {
+    /// Protocol reports with timestamps and link samples, in arrival order.
+    pub events: Vec<NetEvent>,
+    /// Wall-clock duration of the run.
+    pub wall_time: Duration,
+    /// Number of peers deployed.
+    pub peers: usize,
+}
+
+impl NetOutcome {
+    /// Count of playback-started reports.
+    pub fn playbacks(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.report, Report::PlaybackStarted { .. }))
+            .count()
+    }
+
+    /// Mean startup delay in milliseconds over all playbacks.
+    pub fn mean_startup_delay_ms(&self) -> f64 {
+        let delays: Vec<f64> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.report {
+                Report::PlaybackStarted { requested_at, .. } => {
+                    Some(e.time.duration_since(requested_at).as_micros() as f64 / 1_000.0)
+                }
+                _ => None,
+            })
+            .collect();
+        if delays.is_empty() {
+            0.0
+        } else {
+            delays.iter().sum::<f64>() / delays.len() as f64
+        }
+    }
+
+    /// Fraction of playbacks that started from cache or a prefetched chunk.
+    pub fn instant_start_fraction(&self) -> f64 {
+        let (mut instant, mut total) = (0usize, 0usize);
+        for e in &self.events {
+            if let Report::PlaybackStarted { source, .. } = e.report {
+                total += 1;
+                if matches!(source, ChunkSource::Cache | ChunkSource::Prefetched) {
+                    instant += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            instant as f64 / total as f64
+        }
+    }
+}
+
+/// Driver actions scheduled on the real-time heap.
+#[derive(Debug, PartialEq, Eq)]
+enum Action {
+    Login(usize),
+    NextVideo(usize),
+    Logout(usize),
+    /// Safety net if a playback never starts.
+    WatchTimeout(usize, u64),
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    due: Instant,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.due.cmp(&other.due).then(self.seq.cmp(&other.seq))
+    }
+}
+
+struct NodeDrive {
+    sessions_left: u32,
+    videos_left: u32,
+    current_video: Option<VideoId>,
+    awaiting: bool,
+    watch_seq: u64,
+    done: bool,
+}
+
+/// The testbed: deploys daemons, drives the workload, collects events.
+#[derive(Debug)]
+pub struct Testbed;
+
+impl Testbed {
+    /// Runs a full deployment.
+    ///
+    /// `peers` are the protocol state machines to deploy (node ids must be
+    /// dense `0..n`); `server` is the matching tracker; `pick_video`
+    /// chooses each node's next video given its previous one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if sockets cannot be bound.
+    pub fn run(
+        catalog: Arc<Catalog>,
+        peers: Vec<Box<dyn VodPeer + Send>>,
+        server: Box<dyn VodServer + Send>,
+        config: &TestbedConfig,
+        mut pick_video: impl FnMut(NodeId, Option<VideoId>) -> Option<VideoId>,
+    ) -> std::io::Result<NetOutcome> {
+        let started = Instant::now();
+        let clock = TestbedClock::start();
+        let registry = Arc::new(Registry::new());
+        let latency = Arc::new(LatencyModel::new(
+            &SimRng::seed(config.seed),
+            config.latency_min,
+            config.latency_max,
+        ));
+        let (events_tx, events_rx) = unbounded::<NetEvent>();
+
+        let server_daemon = ServerDaemon::spawn(
+            server,
+            Arc::clone(&catalog),
+            Arc::clone(&registry),
+            Arc::clone(&latency),
+            clock,
+            config.server_bandwidth_bps,
+            events_tx.clone(),
+        )?;
+
+        let mut daemons = Vec::with_capacity(peers.len());
+        for peer in peers {
+            daemons.push(PeerDaemon::spawn(
+                peer,
+                Arc::clone(&registry),
+                Arc::clone(&latency),
+                clock,
+                config.peer_upload_bps,
+                events_tx.clone(),
+            )?);
+        }
+        drop(events_tx);
+
+        // Drive the workload in real time.
+        let n = daemons.len();
+        let mut nodes: Vec<NodeDrive> = (0..n)
+            .map(|_| NodeDrive {
+                sessions_left: config.sessions_per_node,
+                videos_left: 0,
+                current_video: None,
+                awaiting: false,
+                watch_seq: 0,
+                done: false,
+            })
+            .collect();
+        let mut heap: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut schedule = |heap: &mut BinaryHeap<Reverse<Scheduled>>, due: Instant, action| {
+            seq += 1;
+            heap.push(Reverse(Scheduled { due, seq, action }));
+        };
+        let stagger = config.off_time.as_millis().max(1) as u64;
+        let mut stagger_rng = SimRng::seed(config.seed ^ 0xbed);
+        for i in 0..n {
+            use rand::Rng;
+            let jitter = Duration::from_millis(stagger_rng.gen_range(0..=stagger));
+            schedule(&mut heap, Instant::now() + jitter, Action::Login(i));
+        }
+
+        let mut events = Vec::new();
+        let mut remaining = n;
+        while remaining > 0 {
+            // Wait for either the next scheduled action or a report.
+            let now = Instant::now();
+            let timeout = heap
+                .peek()
+                .map(|Reverse(s)| s.due.saturating_duration_since(now))
+                .unwrap_or(Duration::from_millis(50));
+            match events_rx.recv_timeout(timeout) {
+                Ok(event) => {
+                    if let Report::PlaybackStarted { node, video, .. } = event.report {
+                        let i = node.index();
+                        if i < n && nodes[i].awaiting && nodes[i].current_video == Some(video) {
+                            nodes[i].awaiting = false;
+                            nodes[i].videos_left = nodes[i].videos_left.saturating_sub(1);
+                            let next = if nodes[i].videos_left > 0 {
+                                Action::NextVideo(i)
+                            } else {
+                                Action::Logout(i)
+                            };
+                            schedule(&mut heap, Instant::now() + config.watch_dwell, next);
+                        }
+                    }
+                    events.push(event);
+                    continue;
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            }
+            // Execute every due action.
+            let now = Instant::now();
+            while let Some(Reverse(s)) = heap.peek() {
+                if s.due > now {
+                    break;
+                }
+                let Reverse(s) = heap.pop().expect("peeked entry");
+                match s.action {
+                    Action::Login(i) => {
+                        if nodes[i].done {
+                            continue;
+                        }
+                        nodes[i].videos_left = config.videos_per_session;
+                        daemons[i].login();
+                        schedule(&mut heap, now + config.browse_delay, Action::NextVideo(i));
+                    }
+                    Action::NextVideo(i) => {
+                        if nodes[i].done {
+                            continue;
+                        }
+                        let prev = nodes[i].current_video;
+                        let Some(video) = pick_video(NodeId::new(i as u32), prev) else {
+                            continue;
+                        };
+                        nodes[i].current_video = Some(video);
+                        nodes[i].awaiting = true;
+                        nodes[i].watch_seq += 1;
+                        let watch_seq = nodes[i].watch_seq;
+                        daemons[i].watch(video);
+                        schedule(
+                            &mut heap,
+                            now + config.watch_timeout,
+                            Action::WatchTimeout(i, watch_seq),
+                        );
+                    }
+                    Action::WatchTimeout(i, watch_seq) => {
+                        // Playback never started: move on rather than hang.
+                        if !nodes[i].done && nodes[i].awaiting && nodes[i].watch_seq == watch_seq {
+                            nodes[i].awaiting = false;
+                            nodes[i].videos_left = nodes[i].videos_left.saturating_sub(1);
+                            let next = if nodes[i].videos_left > 0 {
+                                Action::NextVideo(i)
+                            } else {
+                                Action::Logout(i)
+                            };
+                            schedule(&mut heap, now, next);
+                        }
+                    }
+                    Action::Logout(i) => {
+                        if nodes[i].done {
+                            continue;
+                        }
+                        daemons[i].logout();
+                        nodes[i].sessions_left = nodes[i].sessions_left.saturating_sub(1);
+                        if nodes[i].sessions_left > 0 {
+                            schedule(&mut heap, now + config.off_time, Action::Login(i));
+                        } else {
+                            nodes[i].done = true;
+                            remaining -= 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Drain any straggling reports, then tear down.
+        let drain_deadline = Instant::now() + Duration::from_millis(300);
+        while let Ok(event) =
+            events_rx.recv_timeout(drain_deadline.saturating_duration_since(Instant::now()))
+        {
+            events.push(event);
+        }
+        for d in &daemons {
+            d.shutdown();
+        }
+        server_daemon.shutdown();
+        for d in daemons {
+            d.join();
+        }
+        server_daemon.join();
+
+        Ok(NetOutcome {
+            events,
+            wall_time: started.elapsed(),
+            peers: n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialtube::{SocialTubeConfig, SocialTubePeer, SocialTubeServer};
+    use socialtube_model::CatalogBuilder;
+
+    fn tiny_catalog() -> (Arc<Catalog>, Vec<VideoId>) {
+        let mut b = CatalogBuilder::new();
+        let cat = b.add_category("k");
+        let ch = b.add_channel("c", [cat]);
+        let mut vids = Vec::new();
+        for i in 0..4 {
+            let v = b.add_video(ch, 4, i); // 4 s × 320 kbps = 1.28 Mb
+            b.set_views(v, 100 / (u64::from(i) + 1));
+            vids.push(v);
+        }
+        (Arc::new(b.build()), vids)
+    }
+
+    #[test]
+    fn five_peer_socialtube_deployment_completes() {
+        let (catalog, vids) = tiny_catalog();
+        let channel = catalog.channels().next().unwrap().id();
+        let peers: Vec<Box<dyn VodPeer + Send>> = (0..5)
+            .map(|i| {
+                Box::new(SocialTubePeer::new(
+                    NodeId::new(i),
+                    Arc::clone(&catalog),
+                    vec![channel],
+                    SocialTubeConfig::default(),
+                )) as Box<dyn VodPeer + Send>
+            })
+            .collect();
+        let server = Box::new(SocialTubeServer::new(Arc::clone(&catalog), SimRng::seed(7)));
+        let config = TestbedConfig {
+            sessions_per_node: 1,
+            videos_per_session: 2,
+            ..TestbedConfig::default()
+        };
+        let mut rng = SimRng::seed(1);
+        let outcome = Testbed::run(catalog, peers, server, &config, |_, _| {
+            use rand::Rng;
+            Some(vids[rng.gen_range(0..vids.len())])
+        })
+        .expect("testbed runs");
+        // 5 peers × 1 session × 2 videos = 10 playbacks expected.
+        assert!(
+            outcome.playbacks() >= 8,
+            "only {} playbacks (events: {})",
+            outcome.playbacks(),
+            outcome.events.len()
+        );
+        assert_eq!(outcome.peers, 5);
+        assert!(outcome.mean_startup_delay_ms() >= 0.0);
+    }
+}

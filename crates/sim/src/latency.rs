@@ -1,0 +1,159 @@
+//! Pairwise network propagation delays.
+
+use crate::{SimDuration, SimRng};
+use rand::Rng;
+
+/// Deterministic pairwise latency model.
+///
+/// Rather than storing an `n × n` matrix (10,000 nodes would need 100M
+/// entries), the latency of a directed pair is derived on demand by hashing
+/// `(seed, a, b)` into a uniform draw from `[min, max]`. The pair is
+/// symmetrized so `delay(a, b) == delay(b, a)`, as propagation delay is.
+/// Node index `u32::MAX` is conventionally the server.
+///
+/// The default range 20–200 ms approximates the wide-area RTT spread of
+/// PlanetLab hosts; the paper's PlanetLab deployment is emulated with this
+/// same model in the TCP testbed.
+///
+/// # Examples
+///
+/// ```
+/// use socialtube_sim::{LatencyModel, SimRng};
+///
+/// let model = LatencyModel::planetlab(&SimRng::seed(1));
+/// let d = model.delay(3, 9);
+/// assert_eq!(d, model.delay(9, 3));
+/// assert!(d.as_millis() >= 20 && d.as_millis() <= 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    seed: u64,
+    min: SimDuration,
+    max: SimDuration,
+}
+
+impl LatencyModel {
+    /// Node index used for the origin server in delay queries.
+    pub const SERVER: u32 = u32::MAX;
+
+    /// Creates a model with one-way delays uniform in `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(rng: &SimRng, min: SimDuration, max: SimDuration) -> Self {
+        assert!(min <= max, "min latency must not exceed max");
+        Self {
+            seed: rng.root_seed(),
+            min,
+            max,
+        }
+    }
+
+    /// A PlanetLab-like wide-area spread: 20–200 ms one-way.
+    pub fn planetlab(rng: &SimRng) -> Self {
+        Self::new(
+            rng,
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(200),
+        )
+    }
+
+    /// A constant-latency model (useful in tests).
+    pub fn constant(delay: SimDuration) -> Self {
+        Self {
+            seed: 0,
+            min: delay,
+            max: delay,
+        }
+    }
+
+    /// One-way propagation delay between nodes `a` and `b` (symmetric).
+    pub fn delay(&self, a: u32, b: u32) -> SimDuration {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let span = self.max.as_micros() - self.min.as_micros();
+        if span == 0 {
+            return self.min;
+        }
+        let mut rng = SimRng::seed(
+            self.seed ^ (u64::from(lo) << 32 | u64::from(hi)).wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        SimDuration::from_micros(self.min.as_micros() + rng.gen_range(0..=span))
+    }
+
+    /// One-way delay between node `a` and the server.
+    pub fn server_delay(&self, a: u32) -> SimDuration {
+        self.delay(a, Self::SERVER)
+    }
+
+    /// The configured minimum one-way delay.
+    pub fn min(&self) -> SimDuration {
+        self.min
+    }
+
+    /// The configured maximum one-way delay.
+    pub fn max(&self) -> SimDuration {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_symmetric_and_stable() {
+        let m = LatencyModel::planetlab(&SimRng::seed(5));
+        for a in 0..20u32 {
+            for b in 0..20u32 {
+                assert_eq!(m.delay(a, b), m.delay(b, a));
+                assert_eq!(m.delay(a, b), m.delay(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn delays_respect_bounds() {
+        let m = LatencyModel::new(
+            &SimRng::seed(5),
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(50),
+        );
+        for a in 0..100u32 {
+            let d = m.delay(a, a + 1).as_millis();
+            assert!((10..=50).contains(&d), "delay {d}ms out of bounds");
+        }
+    }
+
+    #[test]
+    fn constant_model_is_constant() {
+        let m = LatencyModel::constant(SimDuration::from_millis(30));
+        assert_eq!(m.delay(1, 2), SimDuration::from_millis(30));
+        assert_eq!(m.delay(7, 8), SimDuration::from_millis(30));
+        assert_eq!(m.min(), m.max());
+    }
+
+    #[test]
+    fn different_pairs_get_different_delays() {
+        let m = LatencyModel::planetlab(&SimRng::seed(5));
+        let distinct: std::collections::HashSet<u64> =
+            (0..50u32).map(|a| m.delay(a, a + 1).as_micros()).collect();
+        assert!(distinct.len() > 25, "delays look degenerate");
+    }
+
+    #[test]
+    fn server_delay_uses_sentinel() {
+        let m = LatencyModel::planetlab(&SimRng::seed(5));
+        assert_eq!(m.server_delay(3), m.delay(3, LatencyModel::SERVER));
+    }
+
+    #[test]
+    #[should_panic(expected = "min latency")]
+    fn inverted_bounds_rejected() {
+        LatencyModel::new(
+            &SimRng::seed(1),
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(10),
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! This crate is the workspace's substitute for **PeerSim**, the event-driven
+//! P2P simulator the paper used for its large-scale evaluation (Section V).
+//! It provides:
+//!
+//! * a virtual clock with microsecond resolution ([`SimTime`], [`SimDuration`]),
+//! * a stable-ordered event queue ([`EventQueue`]) and a driver loop
+//!   ([`Engine`]),
+//! * seeded, stream-splittable randomness ([`SimRng`]) so every run is
+//!   reproducible from a single `u64` seed,
+//! * a pairwise [`LatencyModel`] standing in for Internet propagation delays,
+//! * a [`ServerQueue`] modelling the origin server's bounded upload capacity
+//!   (the source of the server-overload delays the paper observes), and
+//!   an [`UploadScheduler`] modelling per-peer upload bandwidth,
+//! * a [`ChurnProcess`] generating session on/off behaviour with
+//!   Poisson-distributed off times (Section V settings).
+//!
+//! The engine is domain-agnostic: protocol crates define their own event
+//! payload type and drive the loop.
+//!
+//! # Examples
+//!
+//! ```
+//! use socialtube_sim::{Engine, SimDuration, SimTime};
+//!
+//! let mut engine: Engine<&'static str> = Engine::new();
+//! engine.schedule_at(SimTime::ZERO + SimDuration::from_secs(2), "world");
+//! engine.schedule_at(SimTime::ZERO + SimDuration::from_secs(1), "hello");
+//!
+//! let mut seen = Vec::new();
+//! while let Some((time, event)) = engine.next_event() {
+//!     seen.push((time.as_secs_f64(), event));
+//! }
+//! assert_eq!(seen, vec![(1.0, "hello"), (2.0, "world")]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bandwidth;
+mod churn;
+mod engine;
+mod latency;
+mod queue;
+mod rng;
+mod sampler;
+mod time;
+
+pub use bandwidth::{ServerQueue, UploadScheduler};
+pub use churn::{ChurnProcess, SessionPhase};
+pub use engine::Engine;
+pub use latency::LatencyModel;
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use sampler::PeriodicSampler;
+pub use time::{SimDuration, SimTime};

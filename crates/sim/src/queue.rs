@@ -1,0 +1,216 @@
+//! The pending-event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A time-ordered queue of pending events.
+///
+/// Events that share a timestamp are delivered in insertion order (FIFO),
+/// which makes simulations fully deterministic: the queue never depends on
+/// heap tie-breaking of the payload type.
+///
+/// # Examples
+///
+/// ```
+/// use socialtube_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_micros(10), 'b');
+/// q.push(SimTime::from_micros(10), 'c');
+/// q.push(SimTime::from_micros(5), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Returns the timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<T: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: T) {
+        for (time, event) in iter {
+            self.push(time, event);
+        }
+    }
+}
+
+impl<E> FromIterator<(SimTime, E)> for EventQueue<E> {
+    fn from_iter<T: IntoIterator<Item = (SimTime, E)>>(iter: T) -> Self {
+        let mut q = EventQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), 3);
+        q.push(SimTime::from_micros(10), 1);
+        q.push(SimTime::from_micros(20), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(20), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(7);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(5), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(5)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q: EventQueue<u8> = [(SimTime::from_micros(1), 1u8)].into_iter().collect();
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let q: EventQueue<u8> = (0..5u8)
+            .map(|i| (SimTime::from_micros(i as u64), i))
+            .collect();
+        assert_eq!(q.len(), 5);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Any push sequence pops in non-decreasing time order, and
+            /// equal-time events keep their insertion order (stability).
+            #[test]
+            fn pops_sorted_and_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+                let mut q = EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.push(SimTime::from_micros(*t), i);
+                }
+                let mut last: Option<(SimTime, usize)> = None;
+                while let Some((t, i)) = q.pop() {
+                    if let Some((lt, li)) = last {
+                        prop_assert!(t >= lt, "time went backwards");
+                        if t == lt {
+                            prop_assert!(i > li, "FIFO violated among ties");
+                        }
+                    }
+                    last = Some((t, i));
+                }
+            }
+
+            /// len() tracks pushes minus pops exactly.
+            #[test]
+            fn len_is_consistent(times in proptest::collection::vec(0u64..100, 0..100)) {
+                let mut q = EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.push(SimTime::from_micros(*t), i);
+                    prop_assert_eq!(q.len(), i + 1);
+                }
+                for left in (0..times.len()).rev() {
+                    q.pop();
+                    prop_assert_eq!(q.len(), left);
+                }
+                prop_assert!(q.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Command-line trace tooling: generate, inspect, crawl and convert
+//! synthetic YouTube social networks.
+//!
+//! ```text
+//! tracegen generate --users 10000 --channels 545 --videos 10121 --seed 42 -o trace.st
+//! tracegen info trace.st
+//! tracegen analyze trace.st
+//! tracegen crawl trace.st --max-users 2000 --seed 7
+//! ```
+
+use std::fs::File;
+use std::process::ExitCode;
+
+use socialtube_trace::{analysis, crawl, generate, load, save, Trace, TraceConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("crawl") => cmd_crawl(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: tracegen <generate|info|analyze|crawl> [options]\n\
+                 \n\
+                 generate --users N --channels N --categories N --videos N \\\n\
+                 \x20        --seed N -o FILE     synthesize a network and save it\n\
+                 info FILE                        print headline counts\n\
+                 analyze FILE                     run the Section III analysis\n\
+                 crawl FILE --max-users N --seed N   BFS-sample like the paper's crawler"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value for {name}: {v:?}")),
+    }
+}
+
+fn positional(args: &[String]) -> Option<&String> {
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") || a == "-o" {
+            skip = true;
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
+fn load_trace(args: &[String]) -> Result<Trace, String> {
+    let path = positional(args).ok_or("missing trace file argument")?;
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    load(file).map_err(|e| format!("load {path}: {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let defaults = TraceConfig::default();
+    let config = TraceConfig {
+        users: parse_flag(args, "--users", defaults.users)?,
+        channels: parse_flag(args, "--channels", defaults.channels)?,
+        categories: parse_flag(args, "--categories", defaults.categories)?,
+        videos: parse_flag(args, "--videos", defaults.videos)?,
+        ..defaults
+    };
+    config.validate()?;
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let out_path = flag(args, "-o")
+        .or_else(|| flag(args, "--out"))
+        .unwrap_or_else(|| "trace.st".to_string());
+
+    eprintln!(
+        "generating {} users / {} channels / {} videos (seed {seed}) ...",
+        config.users, config.channels, config.videos
+    );
+    let trace = generate(&config, seed);
+    let file = File::create(&out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    save(&trace, file).map_err(|e| format!("save {out_path}: {e}"))?;
+    eprintln!(
+        "wrote {out_path}: {} videos across {} channels",
+        trace.catalog.video_count(),
+        trace.catalog.channel_count()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let stats = trace.catalog.stats();
+    println!("users:       {}", trace.graph.user_count());
+    println!("categories:  {}", stats.categories);
+    println!("channels:    {}", stats.channels);
+    println!("videos:      {}", stats.videos);
+    println!("total views: {}", stats.total_views);
+    println!("largest channel: {} videos", stats.max_videos_per_channel);
+    let subs: usize = trace.graph.users().map(|u| u.subscriptions().len()).sum();
+    println!(
+        "subscriptions: {} total ({:.1} per user)",
+        subs,
+        subs as f64 / trace.graph.user_count().max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let (_, r5) = analysis::views_vs_subscriptions(&trace);
+    let (_, r8) = analysis::favorites_distribution(&trace);
+    let pop = analysis::within_channel_popularity(&trace);
+    let similarity = analysis::interest_similarity(&trace);
+    let views = analysis::video_view_distribution(&trace);
+    println!(
+        "fig5  views↔subscriptions Pearson r: {:.3}",
+        r5.unwrap_or(0.0)
+    );
+    println!(
+        "fig7  views/video p50 / p90 / p99:   {:.0} / {:.0} / {:.0}",
+        views.quantile(0.5),
+        views.quantile(0.9),
+        views.quantile(0.99)
+    );
+    println!(
+        "fig8  views↔favorites Pearson r:     {:.3}",
+        r8.unwrap_or(0.0)
+    );
+    println!(
+        "fig9  within-channel Zipf exponent:  {:.3}",
+        pop.zipf_exponent_high.unwrap_or(0.0)
+    );
+    println!(
+        "fig12 interest similarity p25/p50:   {:.2} / {:.2}",
+        similarity.quantile(0.25),
+        similarity.quantile(0.5)
+    );
+    Ok(())
+}
+
+fn cmd_crawl(args: &[String]) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let max_users: usize = parse_flag(args, "--max-users", trace.graph.user_count() / 10)?;
+    let seed: u64 = parse_flag(args, "--seed", 7)?;
+    let sample = crawl(&trace, max_users, seed);
+    println!(
+        "visited {} users ({:.1}% coverage), discovered {} channels and {} videos; {} still queued",
+        sample.users.len(),
+        sample.coverage(&trace) * 100.0,
+        sample.channels.len(),
+        sample.videos.len(),
+        sample.frontier_remaining
+    );
+    Ok(())
+}

@@ -1,0 +1,280 @@
+//! Domain-specific samplers over the paper's distributions.
+//!
+//! Three distribution families drive the YouTube trace (Section III):
+//!
+//! * **Zipf** — within-channel video popularity (Fig 9, exponent s = 1);
+//! * **Pareto / power laws** — channel weights, videos per channel,
+//!   subscriber counts (Figs 3, 4, 6, 7);
+//! * **Log-normal** — video lengths (short-video regime).
+//!
+//! [`ZipfRanks`] also exposes the exact rank probabilities, which the
+//! prefetch-accuracy analysis of Section IV-B needs in closed form.
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Pareto};
+
+/// Exact finite Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(rank k) = (1/k^s) / H_{n,s}`.
+///
+/// # Examples
+///
+/// ```
+/// use socialtube_trace::distributions::ZipfRanks;
+///
+/// let zipf = ZipfRanks::new(25, 1.0);
+/// // Section IV-B: for a 25-video channel the top video holds ~26.2%.
+/// assert!((zipf.probability(1) - 0.262).abs() < 0.005);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfRanks {
+    probs: Vec<f64>,
+    cumulative: Vec<f64>,
+}
+
+impl ZipfRanks {
+    /// Builds the distribution for `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s <= 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for p in &probs {
+            acc += p;
+            cumulative.push(acc);
+        }
+        // Guard against floating point drift on the last entry.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Self { probs, cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Returns `true` if the distribution has no ranks (never: see `new`).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability of rank `k` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the rank count.
+    pub fn probability(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.probs.len(), "rank out of range");
+        self.probs[k - 1]
+    }
+
+    /// Probability mass of the top `m` ranks — the paper's prefetch
+    /// accuracy for `m` prefetched videos (Section IV-B).
+    pub fn top_mass(&self, m: usize) -> f64 {
+        if m == 0 {
+            return 0.0;
+        }
+        self.cumulative[m.min(self.cumulative.len()) - 1]
+    }
+
+    /// Samples a rank (1-based) by inverse-CDF lookup.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF values are finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.probs.len()),
+        }
+    }
+}
+
+/// Samples a heavy-tailed positive value with Pareto shape `shape` and
+/// minimum `min` (the paper's channel-popularity and per-channel video-count
+/// tails). Smaller `shape` means heavier tails.
+///
+/// # Panics
+///
+/// Panics if `shape` or `min` is not positive.
+pub fn pareto_sample<R: Rng + ?Sized>(rng: &mut R, min: f64, shape: f64) -> f64 {
+    let pareto = Pareto::new(min, shape).expect("valid Pareto parameters");
+    pareto.sample(rng)
+}
+
+/// Samples a videos-per-channel count with the Fig 6 shape: median
+/// `median`, Pareto tail `shape`.
+pub fn videos_per_channel<R: Rng + ?Sized>(rng: &mut R, median: f64, shape: f64) -> usize {
+    // For Pareto(min, a), median = min * 2^(1/a): invert for min.
+    let min = median / 2f64.powf(1.0 / shape);
+    pareto_sample(rng, min.max(1.0), shape).round().max(1.0) as usize
+}
+
+/// Samples a short-video length in seconds: log-normal with the given
+/// median and sigma, capped at `cap_secs` and at least 10 s.
+pub fn video_length_secs<R: Rng + ?Sized>(
+    rng: &mut R,
+    median_secs: f64,
+    sigma: f64,
+    cap_secs: u32,
+) -> u32 {
+    let ln = LogNormal::new(median_secs.ln(), sigma).expect("valid log-normal parameters");
+    let secs = ln.sample(rng);
+    // Minimum 10 s unless the cap itself is shorter (tiny testbed videos).
+    let floor = 10.min(cap_secs.max(1));
+    (secs.round() as u32).clamp(floor, cap_secs.max(1))
+}
+
+/// Samples an upload day in `[0, history_days)` with linearly increasing
+/// density, matching the accelerating upload volume of Fig 2
+/// (`P(day ≤ d) = (d / D)²` so density grows ∝ d).
+pub fn upload_day<R: Rng + ?Sized>(rng: &mut R, history_days: u32) -> u32 {
+    let u: f64 = rng.gen();
+    let d = (u.sqrt() * f64::from(history_days)).floor() as u32;
+    d.min(history_days.saturating_sub(1))
+}
+
+/// Samples a geometric count: `1 + Geometric(1 - continuation)` capped at
+/// `max`, used for user interest counts (Fig 13) and extra channel
+/// categories (Fig 11).
+pub fn geometric_count<R: Rng + ?Sized>(rng: &mut R, continuation: f64, max: usize) -> usize {
+    let mut count = 1;
+    while count < max && rng.gen::<f64>() < continuation {
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::SmallRng {
+        rand::rngs::SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        let z = ZipfRanks::new(100, 1.0);
+        let total: f64 = (1..=100).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn zipf_matches_paper_prefetch_numbers() {
+        // Section IV-B: 25-video channel, s=1 → top-1 ≈ 26.2%.
+        let z = ZipfRanks::new(25, 1.0);
+        assert!((z.probability(1) - 0.262).abs() < 0.005);
+        // "3-4 videos during a single playback" → accuracy rises to ~54.6%.
+        let top4 = z.top_mass(4);
+        assert!((top4 - 0.546).abs() < 0.002, "top4={top4}");
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing() {
+        let z = ZipfRanks::new(50, 1.0);
+        for k in 1..50 {
+            assert!(z.probability(k) > z.probability(k + 1));
+        }
+    }
+
+    #[test]
+    fn zipf_top_mass_saturates() {
+        let z = ZipfRanks::new(10, 1.0);
+        assert_eq!(z.top_mass(0), 0.0);
+        assert!((z.top_mass(10) - 1.0).abs() < 1e-12);
+        assert!((z.top_mass(99) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_sampling_matches_probabilities() {
+        let z = ZipfRanks::new(10, 1.0);
+        let mut rng = rng();
+        let n = 100_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for k in 1..=10 {
+            let freq = counts[k - 1] as f64 / n as f64;
+            assert!(
+                (freq - z.probability(k)).abs() < 0.01,
+                "rank {k}: freq={freq} p={}",
+                z.probability(k)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_zero_ranks() {
+        ZipfRanks::new(0, 1.0);
+    }
+
+    #[test]
+    fn videos_per_channel_median_is_calibrated() {
+        let mut rng = rng();
+        let mut samples: Vec<usize> = (0..20_000)
+            .map(|_| videos_per_channel(&mut rng, 9.0, 1.1))
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        assert!((7..=11).contains(&median), "median={median}");
+        // Heavy tail: some channels should be much larger.
+        assert!(*samples.last().unwrap() > 100);
+    }
+
+    #[test]
+    fn video_lengths_respect_bounds() {
+        let mut rng = rng();
+        for _ in 0..1_000 {
+            let len = video_length_secs(&mut rng, 180.0, 0.6, 600);
+            assert!((10..=600).contains(&len));
+        }
+    }
+
+    #[test]
+    fn upload_days_grow_denser_over_time() {
+        let mut rng = rng();
+        let days: Vec<u32> = (0..50_000).map(|_| upload_day(&mut rng, 1000)).collect();
+        let first_half = days.iter().filter(|d| **d < 500).count();
+        let second_half = days.len() - first_half;
+        // Quadratic CDF → 25% in the first half, 75% in the second.
+        assert!(second_half > 2 * first_half, "growth not increasing");
+        assert!(days.iter().all(|d| *d < 1000));
+    }
+
+    #[test]
+    fn geometric_count_is_capped_and_positive() {
+        let mut rng = rng();
+        for _ in 0..1_000 {
+            let c = geometric_count(&mut rng, 0.72, 18);
+            assert!((1..=18).contains(&c));
+        }
+        // Continuation 0 → always exactly 1.
+        assert_eq!(geometric_count(&mut rng, 0.0, 18), 1);
+    }
+
+    #[test]
+    fn geometric_count_hits_paper_interest_shape() {
+        let mut rng = rng();
+        let n = 50_000;
+        let below_10 = (0..n)
+            .filter(|_| geometric_count(&mut rng, 0.72, 18) < 10)
+            .count();
+        let frac = below_10 as f64 / n as f64;
+        // Fig 13: around 60% of users have fewer than 10 interests.
+        assert!((0.5..0.99).contains(&frac), "frac={frac}");
+    }
+}

@@ -1,0 +1,452 @@
+//! Saving and loading traces.
+//!
+//! Generating the Table-I-scale network takes a moment and the crawl-scale
+//! one noticeably longer; persisting a [`Trace`] lets experiments share one
+//! artifact (and lets a real crawl be imported, should one resurface). The
+//! format is a line-oriented, versioned text format — trivially diffable
+//! and greppable, no extra dependencies:
+//!
+//! ```text
+//! SOCIALTUBE-TRACE v1
+//! [config]
+//! users=200
+//! ...
+//! [categories] 6
+//! Category0
+//! ...
+//! [channels] 40           # name \t categories \t subscribers \t owner
+//! channel0\t0,2\t17\t3
+//! [videos] 400            # channel \t len \t day \t views \t favs \t kbps \t chunks
+//! 0\t180\t12\t5000\t100\t320\t8
+//! [users] 200             # interests \t subscriptions \t favorites
+//! 0,1\t0,3\t12,14
+//! ```
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+use socialtube_model::{CatalogBuilder, ChannelId, NodeId, SocialGraph, VideoId};
+
+use crate::{Trace, TraceConfig};
+
+/// Errors produced while reading a trace file.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceIoError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// The file is not a SocialTube trace or uses an unknown version.
+    BadHeader(String),
+    /// A section or field was malformed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "io error: {e}"),
+            TraceIoError::BadHeader(h) => write!(f, "not a socialtube trace (header {h:?})"),
+            TraceIoError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+const HEADER: &str = "SOCIALTUBE-TRACE v1";
+
+fn ids_csv<I: IntoIterator<Item = u32>>(ids: I) -> String {
+    ids.into_iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Writes `trace` to `out`.
+///
+/// # Errors
+///
+/// Propagates IO errors.
+pub fn save<W: Write>(trace: &Trace, out: W) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "{HEADER}")?;
+
+    writeln!(w, "[config]")?;
+    let c = &trace.config;
+    writeln!(w, "users={}", c.users)?;
+    writeln!(w, "channels={}", c.channels)?;
+    writeln!(w, "categories={}", c.categories)?;
+    writeln!(w, "videos={}", c.videos)?;
+    writeln!(w, "history_days={}", c.history_days)?;
+    writeln!(w, "bitrate_kbps={}", c.bitrate_kbps)?;
+
+    writeln!(w, "[categories] {}", trace.catalog.category_count())?;
+    for cat in trace.catalog.categories() {
+        writeln!(
+            w,
+            "{}",
+            trace.catalog.category_name(cat).expect("category exists")
+        )?;
+    }
+
+    writeln!(w, "[channels] {}", trace.catalog.channel_count())?;
+    for ch in trace.catalog.channels() {
+        let owner = trace.owner(ch.id()).map(|n| n.as_u32()).unwrap_or(u32::MAX);
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{owner}",
+            ch.name(),
+            ids_csv(ch.categories().iter().map(|c| c.as_u32())),
+            ch.subscriber_count(),
+        )?;
+    }
+
+    writeln!(w, "[videos] {}", trace.catalog.video_count())?;
+    for v in trace.catalog.videos() {
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            v.channel().as_u32(),
+            v.length_secs(),
+            v.upload_day(),
+            v.views(),
+            v.favorites(),
+            v.bitrate_kbps(),
+            v.chunk_count(),
+        )?;
+    }
+
+    writeln!(w, "[users] {}", trace.graph.user_count())?;
+    for u in trace.graph.users() {
+        writeln!(
+            w,
+            "{}\t{}\t{}",
+            ids_csv(u.interests().iter().map(|c| c.as_u32())),
+            ids_csv(u.subscriptions().iter().map(|c| c.as_u32())),
+            ids_csv(u.favorites().iter().map(|v| v.as_u32())),
+        )?;
+    }
+    w.flush()
+}
+
+struct Lines<R: BufRead> {
+    inner: R,
+    line_no: usize,
+}
+
+impl<R: BufRead> Lines<R> {
+    fn next_line(&mut self) -> Result<String, TraceIoError> {
+        let mut buf = String::new();
+        let n = self.inner.read_line(&mut buf)?;
+        self.line_no += 1;
+        if n == 0 {
+            return Err(TraceIoError::Parse {
+                line: self.line_no,
+                message: "unexpected end of file".into(),
+            });
+        }
+        Ok(buf.trim_end_matches(['\n', '\r']).to_string())
+    }
+
+    fn err(&self, message: impl Into<String>) -> TraceIoError {
+        TraceIoError::Parse {
+            line: self.line_no,
+            message: message.into(),
+        }
+    }
+
+    fn section(&mut self, name: &str) -> Result<usize, TraceIoError> {
+        let line = self.next_line()?;
+        let prefix = format!("[{name}]");
+        let rest = line
+            .strip_prefix(&prefix)
+            .ok_or_else(|| self.err(format!("expected section {prefix}, got {line:?}")))?;
+        let rest = rest.trim();
+        if rest.is_empty() {
+            Ok(0)
+        } else {
+            rest.parse()
+                .map_err(|_| self.err(format!("bad section count {rest:?}")))
+        }
+    }
+
+    fn parse_u32(&self, s: &str) -> Result<u32, TraceIoError> {
+        s.parse().map_err(|_| self.err(format!("bad number {s:?}")))
+    }
+
+    fn parse_u64(&self, s: &str) -> Result<u64, TraceIoError> {
+        s.parse().map_err(|_| self.err(format!("bad number {s:?}")))
+    }
+
+    fn parse_csv(&self, s: &str) -> Result<Vec<u32>, TraceIoError> {
+        if s.is_empty() {
+            return Ok(Vec::new());
+        }
+        s.split(',').map(|p| self.parse_u32(p)).collect()
+    }
+}
+
+/// Reads a trace previously written by [`save`].
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on IO failures, version mismatch, or malformed
+/// content.
+pub fn load<R: Read>(input: R) -> Result<Trace, TraceIoError> {
+    let mut lines = Lines {
+        inner: BufReader::new(input),
+        line_no: 0,
+    };
+    let header = lines.next_line()?;
+    if header != HEADER {
+        return Err(TraceIoError::BadHeader(header));
+    }
+
+    // [config] — start from defaults, override the persisted scalars.
+    let count = lines.section("config")?;
+    let _ = count;
+    let mut config = TraceConfig::default();
+    loop {
+        // Peek-free approach: config entries run until "[categories]".
+        let line = lines.next_line()?;
+        if let Some(rest) = line.strip_prefix("[categories]") {
+            let n: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| lines.err("bad category count"))?;
+            return load_body(lines, config, n);
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| lines.err(format!("expected key=value, got {line:?}")))?;
+        match key {
+            "users" => config.users = lines.parse_u64(value)? as usize,
+            "channels" => config.channels = lines.parse_u64(value)? as usize,
+            "categories" => config.categories = lines.parse_u64(value)? as usize,
+            "videos" => config.videos = lines.parse_u64(value)? as usize,
+            "history_days" => config.history_days = lines.parse_u32(value)?,
+            "bitrate_kbps" => config.bitrate_kbps = lines.parse_u32(value)?,
+            _ => {} // forward compatible: ignore unknown keys
+        }
+    }
+}
+
+fn load_body<R: BufRead>(
+    mut lines: Lines<R>,
+    config: TraceConfig,
+    category_count: usize,
+) -> Result<Trace, TraceIoError> {
+    let mut builder = CatalogBuilder::new();
+    for _ in 0..category_count {
+        let name = lines.next_line()?;
+        builder.add_category(name);
+    }
+
+    let channel_count = lines.section("channels")?;
+    let mut channel_owners = Vec::with_capacity(channel_count);
+    let mut subscriber_counts = Vec::with_capacity(channel_count);
+    for _ in 0..channel_count {
+        let line = lines.next_line()?;
+        let mut parts = line.split('\t');
+        let name = parts
+            .next()
+            .ok_or_else(|| lines.err("missing name"))?
+            .to_string();
+        let cats = lines.parse_csv(
+            parts
+                .next()
+                .ok_or_else(|| lines.err("missing categories"))?,
+        )?;
+        let subs = lines.parse_u64(
+            parts
+                .next()
+                .ok_or_else(|| lines.err("missing subscribers"))?,
+        )?;
+        let owner = lines.parse_u32(parts.next().ok_or_else(|| lines.err("missing owner"))?)?;
+        builder.add_channel(
+            name,
+            cats.into_iter().map(socialtube_model::CategoryId::new),
+        );
+        subscriber_counts.push(subs);
+        channel_owners.push(NodeId::new(owner));
+    }
+
+    let video_count = lines.section("videos")?;
+    for _ in 0..video_count {
+        let line = lines.next_line()?;
+        let mut parts = line.split('\t');
+        let mut field = |what: &str| {
+            parts
+                .next()
+                .map(str::to_string)
+                .ok_or_else(|| lines.err(format!("missing {what}")))
+        };
+        let channel = ChannelId::new(lines.parse_u32(&field("channel")?)?);
+        let len = lines.parse_u32(&field("length")?)?;
+        let day = lines.parse_u32(&field("day")?)?;
+        let views = lines.parse_u64(&field("views")?)?;
+        let favs = lines.parse_u64(&field("favorites")?)?;
+        let kbps = lines.parse_u32(&field("bitrate")?)?;
+        let chunks = lines.parse_u32(&field("chunks")?)?;
+        let id = builder.add_video(channel, len, day);
+        builder.set_views(id, views);
+        builder.set_favorites(id, favs);
+        builder.video_mut(id).set_bitrate_kbps(kbps.max(1));
+        builder.video_mut(id).set_chunk_count(chunks.max(1));
+    }
+
+    for (i, subs) in subscriber_counts.iter().enumerate() {
+        builder.set_subscriber_count(ChannelId::new(i as u32), *subs);
+    }
+
+    let user_count = lines.section("users")?;
+    let mut graph = SocialGraph::new(user_count, channel_count);
+    for u in 0..user_count {
+        let node = NodeId::new(u as u32);
+        let line = lines.next_line()?;
+        let mut parts = line.split('\t');
+        let interests =
+            lines.parse_csv(parts.next().ok_or_else(|| lines.err("missing interests"))?)?;
+        let subscriptions = lines.parse_csv(
+            parts
+                .next()
+                .ok_or_else(|| lines.err("missing subscriptions"))?,
+        )?;
+        let favorites =
+            lines.parse_csv(parts.next().ok_or_else(|| lines.err("missing favorites"))?)?;
+        for c in interests {
+            graph
+                .user_mut(node)
+                .expect("user in range")
+                .add_interest(socialtube_model::CategoryId::new(c));
+        }
+        for c in subscriptions {
+            graph.subscribe(node, ChannelId::new(c));
+        }
+        for v in favorites {
+            graph
+                .user_mut(node)
+                .expect("user in range")
+                .add_favorite(VideoId::new(v));
+        }
+    }
+
+    Ok(Trace {
+        catalog: builder.build(),
+        graph,
+        channel_owners,
+        config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    fn round_trip(trace: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        save(trace, &mut buf).expect("save succeeds");
+        load(buf.as_slice()).expect("load succeeds")
+    }
+
+    #[test]
+    fn save_load_round_trips_everything() {
+        let original = generate(&TraceConfig::tiny(), 5);
+        let loaded = round_trip(&original);
+
+        assert_eq!(
+            loaded.catalog.category_count(),
+            original.catalog.category_count()
+        );
+        assert_eq!(
+            loaded.catalog.channel_count(),
+            original.catalog.channel_count()
+        );
+        assert_eq!(loaded.catalog.video_count(), original.catalog.video_count());
+        assert_eq!(loaded.graph.user_count(), original.graph.user_count());
+        assert_eq!(loaded.channel_owners, original.channel_owners);
+
+        for (a, b) in original.catalog.videos().zip(loaded.catalog.videos()) {
+            assert_eq!(a, b, "video mismatch");
+        }
+        for (a, b) in original.catalog.channels().zip(loaded.catalog.channels()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.categories(), b.categories());
+            assert_eq!(a.subscriber_count(), b.subscriber_count());
+            assert_eq!(a.videos(), b.videos());
+        }
+        for (a, b) in original.graph.users().zip(loaded.graph.users()) {
+            assert_eq!(a, b, "user mismatch");
+        }
+    }
+
+    #[test]
+    fn loaded_trace_analyzes_identically() {
+        let original = generate(&TraceConfig::tiny(), 9);
+        let loaded = round_trip(&original);
+        let a = crate::analysis::video_view_distribution(&original);
+        let b = crate::analysis::video_view_distribution(&loaded);
+        assert_eq!(a, b);
+        let (_, ra) = crate::analysis::views_vs_subscriptions(&original);
+        let (_, rb) = crate::analysis::views_vs_subscriptions(&loaded);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let err = load("NOT A TRACE\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadHeader(_)));
+        assert!(err.to_string().contains("not a socialtube trace"));
+    }
+
+    #[test]
+    fn truncated_file_reports_line() {
+        let original = generate(&TraceConfig::tiny(), 5);
+        let mut buf = Vec::new();
+        save(&original, &mut buf).unwrap();
+        let cut = buf.len() / 2;
+        let err = load(&buf[..cut]).unwrap_err();
+        match err {
+            TraceIoError::Parse { line, .. } => assert!(line > 1),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn garbage_fields_report_line() {
+        let text = format!("{HEADER}\n[config]\nusers=abc\n");
+        let err = load(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad number"));
+    }
+
+    #[test]
+    fn unknown_config_keys_are_ignored() {
+        let original = generate(&TraceConfig::tiny(), 5);
+        let mut buf = Vec::new();
+        save(&original, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let patched = text.replace("[config]\n", "[config]\nfuture_knob=7\n");
+        let loaded = load(patched.as_bytes()).expect("forward compatible");
+        assert_eq!(loaded.catalog.video_count(), original.catalog.video_count());
+    }
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the SocialTube reproduction workspace.
+pub use socialtube as core;
+pub use socialtube_baselines as baselines;
+pub use socialtube_experiments as experiments;
+pub use socialtube_model as model;
+pub use socialtube_net as net;
+pub use socialtube_sim as sim;
+pub use socialtube_trace as trace;

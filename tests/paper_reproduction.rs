@@ -1,0 +1,169 @@
+//! Integration tests asserting the paper's headline results end to end:
+//! trace properties (Section III), the analytical claims (Sections IV-B/C),
+//! and the comparative evaluation (Section V) under the simulator.
+
+use socialtube::analysis::{nettube_overhead, prefetch_accuracy, socialtube_overhead};
+use socialtube_experiments::figures::{fig16, fig17, fig18, run_comparison};
+use socialtube_experiments::{configs, Protocol};
+use socialtube_trace::{analysis, generate, TraceConfig};
+
+/// Section III: every observation O1–O5 holds on the synthetic trace.
+#[test]
+fn trace_reproduces_section_3_observations() {
+    let trace = generate(&TraceConfig::default(), 42);
+
+    // O1 — Fig 2: uploads accelerate.
+    let growth = analysis::video_growth(&trace);
+    let half = growth.len() / 2;
+    let first: usize = growth[..half].iter().map(|(_, c)| c).sum();
+    let second: usize = growth[half..].iter().map(|(_, c)| c).sum();
+    assert!(second > 2 * first, "O1: {first} then {second}");
+
+    // O2 — Figs 3-5: heavy-tailed channel popularity correlated with
+    // subscriptions.
+    let freq = analysis::channel_view_frequency(&trace);
+    assert!(
+        freq.quantile(0.99) > 10.0 * freq.quantile(0.5).max(1.0),
+        "O2 fig3"
+    );
+    let (_, r) = analysis::views_vs_subscriptions(&trace);
+    assert!(r.expect("defined") > 0.5, "O2 fig5");
+
+    // O3 — Figs 7-9: skewed video popularity, Zipf within channels.
+    let views = analysis::video_view_distribution(&trace);
+    assert!(views.quantile(0.9) > 5.0 * views.quantile(0.5), "O3 fig7");
+    let (_, fav_r) = analysis::favorites_distribution(&trace);
+    assert!(fav_r.expect("defined") > 0.9, "O3 fig8");
+    let pop = analysis::within_channel_popularity(&trace);
+    let s = pop.zipf_exponent_high.expect("fit");
+    assert!((s - 1.0).abs() < 0.25, "O3 fig9: s={s}");
+
+    // O4 — Fig 10: channels cluster within categories.
+    let clustering = analysis::channel_clustering(&trace, 25);
+    assert!(!clustering.edges.is_empty(), "O4: no edges");
+    assert!(clustering.intra_category_fraction > 0.5, "O4 fig10");
+
+    // O5 — Figs 11-13: focused channels and users, aligned interests.
+    let chan_cats = analysis::channel_interest_count(&trace);
+    assert!(chan_cats.quantile(1.0) <= 4.0, "O5 fig11");
+    let similarity = analysis::interest_similarity(&trace);
+    assert!(similarity.quantile(0.5) >= 0.5, "O5 fig12");
+    let interests = analysis::user_interest_count(&trace);
+    assert!(interests.fraction_at_or_below(9.9) > 0.5, "O5 fig13");
+    assert!(interests.quantile(1.0) <= 18.0, "O5 fig13 max");
+}
+
+/// Sections IV-B and IV-C: the closed-form numbers the paper states.
+#[test]
+fn analytical_claims_match_paper() {
+    // Prefetch accuracy in a 25-video channel (Section IV-B).
+    assert!((prefetch_accuracy(25, 1) - 0.262).abs() < 0.005);
+    assert!((prefetch_accuracy(25, 4) - 0.546).abs() < 0.01);
+
+    // Fig 15: SocialTube constant, NetTube linear, crossover within a
+    // session's worth of videos.
+    let st = socialtube_overhead(5_000.0, 25_000.0);
+    assert!(nettube_overhead(1.0, 500.0) < st, "NetTube cheaper at m=1");
+    assert!(nettube_overhead(10.0, 500.0) > st, "NetTube dearer at m=10");
+}
+
+/// Section V: the comparative evaluation's qualitative results under churn.
+/// One shared trace and workload, five protocol variants — the paper's
+/// methodology at test scale.
+#[test]
+fn evaluation_reproduces_section_5_orderings() {
+    let options = configs::smoke_test_long();
+    let run = run_comparison(&options, &Protocol::ALL);
+
+    // Fig 16: normalized peer bandwidth SocialTube ≥ NetTube ≥ PA-VoD.
+    let bars = fig16(&run);
+    let median = |label: &str| {
+        bars.iter()
+            .find(|b| b.protocol.starts_with(label))
+            .expect("bar")
+            .percentiles
+            .p50
+    };
+    assert!(
+        median("SocialTube") >= median("NetTube"),
+        "fig16: SocialTube {} < NetTube {}",
+        median("SocialTube"),
+        median("NetTube")
+    );
+    assert!(
+        median("NetTube") >= median("PA-VoD"),
+        "fig16: NetTube {} < PA-VoD {}",
+        median("NetTube"),
+        median("PA-VoD")
+    );
+
+    // Fig 17: startup delay SocialTube < NetTube < PA-VoD, and prefetching
+    // helps each system that implements it.
+    let bars = fig17(&run);
+    let mean = |label: &str| {
+        bars.iter()
+            .find(|b| b.protocol == label)
+            .expect("bar")
+            .mean_ms
+    };
+    assert!(
+        mean("SocialTube w/ PF") < mean("NetTube w/ PF"),
+        "fig17: ST {} >= NT {}",
+        mean("SocialTube w/ PF"),
+        mean("NetTube w/ PF")
+    );
+    assert!(
+        mean("NetTube w/ PF") < mean("PA-VoD"),
+        "fig17: NT {} >= PA-VoD {}",
+        mean("NetTube w/ PF"),
+        mean("PA-VoD")
+    );
+    assert!(
+        mean("SocialTube w/ PF") <= mean("SocialTube w/o PF"),
+        "fig17: prefetch must not hurt SocialTube"
+    );
+
+    // Fig 18: NetTube accumulates links; SocialTube stays bounded by
+    // N_l + N_h.
+    let curves = fig18(&run);
+    let final_links = |label: &str| {
+        curves
+            .iter()
+            .find(|c| c.protocol.starts_with(label))
+            .expect("curve")
+            .points
+            .last()
+            .expect("points")
+            .1
+    };
+    let st_links = final_links("SocialTube");
+    let nt_links = final_links("NetTube");
+    assert!(
+        nt_links > st_links,
+        "fig18: NetTube {nt_links} <= SocialTube {st_links}"
+    );
+    let bound = (options.socialtube.inner_links + options.socialtube.inter_links) as f64;
+    assert!(
+        st_links <= bound + 1e-9,
+        "fig18: SocialTube exceeded N_l+N_h"
+    );
+
+    // Section IV-A server-state claim: SocialTube's tracker state is
+    // smaller than NetTube's per-video overlays.
+    let st_tracked = run.outcome(Protocol::SocialTube).server_tracked_peak;
+    let nt_tracked = run.outcome(Protocol::NetTube).server_tracked_peak;
+    assert!(
+        st_tracked < nt_tracked,
+        "server state: SocialTube {st_tracked} >= NetTube {nt_tracked}"
+    );
+}
+
+/// The whole pipeline is deterministic: same seed, same metrics.
+#[test]
+fn end_to_end_determinism() {
+    let options = configs::smoke_test();
+    let a = socialtube_experiments::run_simulation(Protocol::SocialTube, &options);
+    let b = socialtube_experiments::run_simulation(Protocol::SocialTube, &options);
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.events, b.events);
+}
