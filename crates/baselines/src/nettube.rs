@@ -783,6 +783,9 @@ impl VodPeer for NetTubePeer {
                         }
                     }
                 }
+                // The map iterates in hasher order, which varies between
+                // instances; sort so the RNG draws from a stable sequence.
+                pool.sort_unstable();
                 let picks = self.rng.pick_distinct(&pool, self.config.prefetch_count);
                 for (neighbor, video) in picks {
                     let id = self.fresh_request();

@@ -5,7 +5,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use socialtube_experiments::figures as xfig;
-use socialtube_experiments::{configs, run_simulation, Protocol};
+use socialtube_experiments::{configs, Protocol, RunSpec};
 use socialtube_trace::{analysis, generate, TraceConfig};
 
 fn bench_trace_figures(c: &mut Criterion) {
@@ -37,8 +37,9 @@ fn bench_simulation_runs(c: &mut Criterion) {
         o
     };
     for protocol in [Protocol::SocialTube, Protocol::NetTube, Protocol::PaVod] {
+        let spec = RunSpec::new(protocol).options(options.clone());
         group.bench_function(format!("run_{protocol}"), |b| {
-            b.iter(|| black_box(run_simulation(protocol, &options)))
+            b.iter(|| black_box(spec.run()))
         });
     }
     group.finish();

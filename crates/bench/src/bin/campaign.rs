@@ -1,0 +1,172 @@
+//! Campaign throughput benchmark: serial versus fan-out execution of one
+//! experiment sweep, with a machine-readable report.
+//!
+//! ```text
+//! cargo run --release -p socialtube-bench --bin campaign -- \
+//!     [--scale demo|figure|full] [--seeds N] [--seed BASE] [--workers N] [--out PATH]
+//! ```
+//!
+//! Runs the protocols × seeds grid twice — once on a single thread, once on
+//! the worker pool — verifies the two reports agree bitwise per cell, and
+//! writes `BENCH_campaign.json` with wall-clock, speedup and events/sec.
+
+use std::io::Write;
+
+use socialtube_experiments::{configs, Campaign, CampaignReport, ExperimentOptions, Protocol};
+
+fn main() {
+    let mut scale = "demo".to_string();
+    let mut seeds: usize = 4;
+    let mut base_seed: u64 = 42;
+    let mut workers: usize = socialtube_experiments::campaign::default_workers();
+    let mut out = "BENCH_campaign.json".to_string();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--scale" => scale = value("--scale"),
+            "--seeds" => seeds = value("--seeds").parse().expect("--seeds: integer"),
+            "--seed" => base_seed = value("--seed").parse().expect("--seed: integer"),
+            "--workers" => workers = value("--workers").parse().expect("--workers: integer"),
+            "--out" => out = value("--out"),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut options: ExperimentOptions = match scale.as_str() {
+        "demo" => {
+            let mut o = configs::smoke_test_long();
+            o.trace.users = 300;
+            o.network.server_bandwidth_bps = 30_000_000;
+            o
+        }
+        "figure" => configs::figure_scale(),
+        "full" => configs::table1(),
+        other => {
+            eprintln!("unknown scale {other} (use demo|figure|full)");
+            std::process::exit(2);
+        }
+    };
+    options.seed = base_seed;
+
+    let campaign = Campaign::new(options)
+        .protocols(&Protocol::ALL)
+        .replicates(seeds)
+        .workers(workers);
+    let runs = campaign.plan().len();
+    println!(
+        "# campaign: {} protocols × {seeds} seeds = {runs} runs (scale {scale})",
+        Protocol::ALL.len()
+    );
+
+    println!("# serial baseline ...");
+    let serial = campaign.run_serial();
+    println!(
+        "#   {:.2}s wall-clock ({:.2}s traces), {:.0} events/s",
+        serial.wall_clock.as_secs_f64(),
+        serial.trace_wall_clock.as_secs_f64(),
+        serial.events_per_sec()
+    );
+
+    println!("# parallel ({workers} workers) ...");
+    let parallel = campaign.run();
+    println!(
+        "#   {:.2}s wall-clock ({:.2}s traces), {:.0} events/s",
+        parallel.wall_clock.as_secs_f64(),
+        parallel.trace_wall_clock.as_secs_f64(),
+        parallel.events_per_sec()
+    );
+
+    verify_bitwise(&serial, &parallel);
+    let speedup = serial.wall_clock.as_secs_f64() / parallel.wall_clock.as_secs_f64().max(1e-9);
+    println!("# bitwise identical per-cell metrics; speedup ×{speedup:.2}");
+
+    let json = render_json(&scale, seeds, base_seed, &serial, &parallel, speedup);
+    let mut file = std::fs::File::create(&out).expect("create report file");
+    file.write_all(json.as_bytes()).expect("write report");
+    println!("# report written to {out}");
+}
+
+/// Panics unless both reports carry identical per-cell results.
+fn verify_bitwise(serial: &CampaignReport, parallel: &CampaignReport) {
+    assert_eq!(serial.cells.len(), parallel.cells.len());
+    for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!(s.plan, p.plan, "plans diverged");
+        assert_eq!(
+            s.outcome.metrics, p.outcome.metrics,
+            "metrics diverged for {} seed {}",
+            s.plan.protocol, s.plan.seed
+        );
+        assert_eq!(s.outcome.events, p.outcome.events);
+        assert_eq!(s.outcome.sim_end, p.outcome.sim_end);
+    }
+}
+
+/// Hand-rendered JSON (the workspace's serde stub does not serialize).
+fn render_json(
+    scale: &str,
+    seeds: usize,
+    base_seed: u64,
+    serial: &CampaignReport,
+    parallel: &CampaignReport,
+    speedup: f64,
+) -> String {
+    let mut protocols = String::new();
+    for (i, summary) in parallel.summaries().iter().enumerate() {
+        if i > 0 {
+            protocols.push_str(",\n");
+        }
+        protocols.push_str(&format!(
+            "    {{\"protocol\": \"{}\", \"startup_delay_ms\": {{\"mean\": {:.3}, \"min\": {:.3}, \"max\": {:.3}, \"ci95\": {:.3}}}, \"peer_bandwidth\": {{\"mean\": {:.4}, \"min\": {:.4}, \"max\": {:.4}, \"ci95\": {:.4}}}}}",
+            summary.protocol,
+            summary.startup_delay_ms.mean,
+            summary.startup_delay_ms.min,
+            summary.startup_delay_ms.max,
+            summary.startup_delay_ms.ci95,
+            summary.peer_bandwidth.mean,
+            summary.peer_bandwidth.min,
+            summary.peer_bandwidth.max,
+            summary.peer_bandwidth.ci95,
+        ));
+    }
+    format!(
+        r#"{{
+  "benchmark": "campaign",
+  "scale": "{scale}",
+  "base_seed": {base_seed},
+  "seeds": {seeds},
+  "runs_completed": {runs},
+  "traces_generated": {traces},
+  "workers": {workers},
+  "serial_wall_clock_s": {serial_s:.3},
+  "parallel_wall_clock_s": {parallel_s:.3},
+  "speedup": {speedup:.3},
+  "total_events": {events},
+  "serial_events_per_sec": {serial_eps:.0},
+  "parallel_events_per_sec": {parallel_eps:.0},
+  "bitwise_identical": true,
+  "per_protocol": [
+{protocols}
+  ]
+}}
+"#,
+        runs = parallel.cells.len(),
+        traces = parallel.traces_generated,
+        workers = parallel.workers,
+        serial_s = serial.wall_clock.as_secs_f64(),
+        parallel_s = parallel.wall_clock.as_secs_f64(),
+        events = parallel.total_events(),
+        serial_eps = serial.events_per_sec(),
+        parallel_eps = parallel.events_per_sec(),
+    )
+}

@@ -17,7 +17,7 @@ use socialtube::analysis::prefetch_accuracy;
 use socialtube::SocialTubeConfig;
 use socialtube_bench::CsvWriter;
 use socialtube_experiments::figures as xfig;
-use socialtube_experiments::{configs, net_driver, run_simulation, ExperimentOptions, Protocol};
+use socialtube_experiments::{configs, net_driver, ExperimentOptions, Protocol, RunSpec};
 use socialtube_trace::{analysis, generate, stats::Percentiles, Trace, TraceConfig};
 
 const OUT_DIR: &str = "target/figures";
@@ -41,13 +41,10 @@ fn main() {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--seed" => {
-                seed = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seed needs an integer");
-                        std::process::exit(2);
-                    });
+                seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
             }
             "--scale" => {
                 scale = match iter.next().map(String::as_str) {
@@ -734,7 +731,7 @@ fn ablate_ttl(scale: Scale) {
             ttl,
             ..options.socialtube
         };
-        let out = run_simulation(Protocol::SocialTube, &options);
+        let out = RunSpec::new(Protocol::SocialTube).options(options).run();
         println!(
             "  TTL={ttl}: peer-bw={:.3}  delay={:.0} ms  fallbacks={}",
             out.metrics.mean_peer_bandwidth,
@@ -764,7 +761,7 @@ fn ablate_links(scale: Scale) {
             inter_links: n_h,
             ..options.socialtube
         };
-        let out = run_simulation(Protocol::SocialTube, &options);
+        let out = RunSpec::new(Protocol::SocialTube).options(options).run();
         println!(
             "  N_l={n_l:<2} N_h={n_h:<2}: peer-bw={:.3}  links={:.1}",
             out.metrics.mean_peer_bandwidth,
@@ -799,7 +796,7 @@ fn ablate_prefetch(scale: Scale) {
             prefetch_count: m.max(1),
             ..options.socialtube
         };
-        let out = run_simulation(Protocol::SocialTube, &options);
+        let out = RunSpec::new(Protocol::SocialTube).options(options).run();
         println!(
             "  M={m}: instant-starts={:<5} mean={:.0} ms  median={:.0} ms  prefetch-traffic={} Mbit",
             out.metrics.prefetch_hits,
@@ -835,7 +832,7 @@ fn ablate_cache(scale: Scale) {
             cache_capacity: cap,
             ..options.socialtube
         };
-        let out = run_simulation(Protocol::SocialTube, &options);
+        let out = RunSpec::new(Protocol::SocialTube).options(options).run();
         let label = cap.map_or("unbounded".to_string(), |c| c.to_string());
         println!(
             "  cache={label:<9}: peer-bw={:.3}  cache-hits={:<5} fallbacks={}",
@@ -871,7 +868,7 @@ fn ablate_server(scale: Scale) {
             let mut options = base.clone();
             options.network.server_bandwidth_bps =
                 (base.network.server_bandwidth_bps as f64 * fraction) as u64;
-            let out = run_simulation(protocol, &options);
+            let out = RunSpec::new(protocol).options(options).run();
             println!(
                 "  server ×{fraction:<4} {:<18} median-delay={:>9.0} ms  peer-bw={:.3}",
                 protocol.label(),

@@ -14,10 +14,10 @@ use socialtube::{
 use socialtube_baselines::{NetTubeConfig, NetTubePeer, NetTubeServer, PaVodPeer, PaVodServer};
 use socialtube_model::{Catalog, NodeId, VideoId};
 use socialtube_sim::{
-    ChurnProcess, Engine, LatencyModel, PeriodicSampler, ServerQueue, SimDuration, SimRng,
-    SimTime, UploadScheduler,
+    ChurnProcess, Engine, LatencyModel, PeriodicSampler, ServerQueue, SimDuration, SimRng, SimTime,
+    UploadScheduler,
 };
-use socialtube_trace::{generate, Trace};
+use socialtube_trace::{generate, SharedTrace, Trace};
 
 use crate::configs::ExperimentOptions;
 use crate::metrics::{MetricsCollector, MetricsSummary};
@@ -85,13 +85,106 @@ pub struct SimOutcome {
     pub truncated: bool,
 }
 
-/// Generates the trace from `options` and runs `protocol` over it.
+/// Builder-style specification of one simulation run — the single entry
+/// point for simulating a protocol over a trace.
 ///
-/// Use [`run_simulation_on`] to reuse one trace across protocol variants
-/// (as the paper does — all protocols see the same workload).
+/// A spec owns everything a run needs: the protocol variant, the
+/// [`ExperimentOptions`], an optional seed override, and an optional
+/// pre-built [`SharedTrace`]. Supplying a shared trace is how campaigns
+/// avoid regenerating (and deep-copying) the trace for every variant and
+/// replicate; without one, [`run`](RunSpec::run) generates the trace from
+/// the options — the two paths are bitwise identical for the same
+/// `(trace config, seed)`.
+///
+/// # Examples
+///
+/// ```
+/// use socialtube_experiments::{configs, Protocol, RunSpec};
+///
+/// let outcome = RunSpec::new(Protocol::SocialTube)
+///     .options(configs::smoke_test())
+///     .seed(7)
+///     .run();
+/// assert!(outcome.metrics.playbacks > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    protocol: Protocol,
+    options: ExperimentOptions,
+    seed: Option<u64>,
+    trace: Option<SharedTrace>,
+}
+
+impl RunSpec {
+    /// Starts a spec for `protocol` with default options.
+    pub fn new(protocol: Protocol) -> Self {
+        Self {
+            protocol,
+            options: ExperimentOptions::default(),
+            seed: None,
+            trace: None,
+        }
+    }
+
+    /// Sets the experiment options (trace shape, workload, network,
+    /// protocol parameters).
+    pub fn options(mut self, options: ExperimentOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the root seed (defaults to `options.seed`). Trace
+    /// generation, workload, latencies and protocol randomness all derive
+    /// from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Reuses a pre-built trace instead of generating one, sharing it
+    /// read-only with every other run holding a clone.
+    pub fn trace(mut self, trace: SharedTrace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The protocol this spec runs.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// The seed the run will actually use.
+    pub fn effective_seed(&self) -> u64 {
+        self.seed.unwrap_or(self.options.seed)
+    }
+
+    /// Executes the run to completion.
+    pub fn run(&self) -> SimOutcome {
+        let seed = self.effective_seed();
+        match &self.trace {
+            Some(shared) => run_with_catalog(
+                shared,
+                Arc::clone(shared.catalog()),
+                self.protocol,
+                &self.options,
+                seed,
+            ),
+            None => {
+                let trace = generate(&self.options.trace, seed);
+                let catalog = Arc::new(trace.catalog.clone());
+                run_with_catalog(&trace, catalog, self.protocol, &self.options, seed)
+            }
+        }
+    }
+}
+
+/// Generates the trace from `options` and runs `protocol` over it.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `RunSpec::new(protocol).options(options.clone()).run()`"
+)]
 pub fn run_simulation(protocol: Protocol, options: &ExperimentOptions) -> SimOutcome {
-    let trace = generate(&options.trace, options.seed);
-    run_simulation_on(&trace, protocol, options)
+    RunSpec::new(protocol).options(options.clone()).run()
 }
 
 fn build_peers(
@@ -158,14 +251,30 @@ fn build_peers(
     }
 }
 
-/// Runs `protocol` over an existing `trace`.
+/// Runs `protocol` over an existing `trace`, seeding from `options.seed`.
+///
+/// Deep-copies the trace's catalog once per call; prefer
+/// [`RunSpec::trace`] with a [`SharedTrace`] when running several variants
+/// or replicates over the same trace.
 pub fn run_simulation_on(
     trace: &Trace,
     protocol: Protocol,
     options: &ExperimentOptions,
 ) -> SimOutcome {
-    let root = SimRng::seed(options.seed ^ 0x50c1_a17b);
     let catalog = Arc::new(trace.catalog.clone());
+    run_with_catalog(trace, catalog, protocol, options, options.seed)
+}
+
+/// The actual run loop: all entry points funnel here with an explicit
+/// root seed and a pre-built catalog handle.
+fn run_with_catalog(
+    trace: &Trace,
+    catalog: Arc<Catalog>,
+    protocol: Protocol,
+    options: &ExperimentOptions,
+    seed: u64,
+) -> SimOutcome {
+    let root = SimRng::seed(seed ^ 0x50c1_a17b);
     let users = trace.graph.user_count();
 
     let (mut peers, mut server) = build_peers(trace, protocol, options, &root, &catalog);
@@ -179,6 +288,7 @@ pub fn run_simulation_on(
     let mut server_queue = ServerQueue::new(options.network.server_bandwidth_bps);
     let mut metrics = MetricsCollector::new(users);
     let mut engine: Engine<Ev> = Engine::new();
+    engine.set_event_budget(options.max_events);
     let mut tracked_peak = 0usize;
 
     // Per-node session plans: staggered first logins.
@@ -212,13 +322,8 @@ pub fn run_simulation_on(
     let mut fail_rng = root.stream("failures");
     let mut backlog_sampler = PeriodicSampler::new(SimDuration::from_mins(1));
     let mut server_backlog_timeline: Vec<(u64, SimDuration)> = Vec::new();
-    let mut truncated = false;
 
     while let Some((now, ev)) = engine.next_event() {
-        if options.max_events > 0 && engine.processed() > options.max_events {
-            truncated = true;
-            break;
-        }
         if backlog_sampler.due(now) > 0 {
             let minute = now.as_micros() / 60_000_000;
             server_backlog_timeline.push((minute, server_queue.backlog(now)));
@@ -328,7 +433,7 @@ pub fn run_simulation_on(
         server_tracked_peak: tracked_peak,
         upload_fairness: socialtube_trace::stats::jain_fairness(&contributions),
         server_backlog_timeline,
-        truncated,
+        truncated: engine.budget_exhausted(),
     }
 }
 
@@ -484,8 +589,54 @@ mod tests {
     use super::*;
     use crate::configs;
 
+    fn run(protocol: Protocol, options: &ExperimentOptions) -> SimOutcome {
+        RunSpec::new(protocol).options(options.clone()).run()
+    }
+
     fn smoke(protocol: Protocol) -> SimOutcome {
-        run_simulation(protocol, &configs::smoke_test())
+        run(protocol, &configs::smoke_test())
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_run_spec() {
+        let options = configs::smoke_test();
+        let via_shim = run(Protocol::SocialTube, &options);
+        let via_spec = RunSpec::new(Protocol::SocialTube)
+            .options(options.clone())
+            .run();
+        assert_eq!(via_shim.metrics, via_spec.metrics);
+        assert_eq!(via_shim.events, via_spec.events);
+    }
+
+    #[test]
+    fn shared_trace_run_matches_generated_trace_run() {
+        let options = configs::smoke_test();
+        let shared = socialtube_trace::generate_shared(&options.trace, options.seed);
+        let with_shared = RunSpec::new(Protocol::SocialTube)
+            .options(options.clone())
+            .trace(shared)
+            .run();
+        let generated = RunSpec::new(Protocol::SocialTube)
+            .options(options.clone())
+            .run();
+        assert_eq!(with_shared.metrics, generated.metrics);
+        assert_eq!(with_shared.events, generated.events);
+        assert_eq!(with_shared.sim_end, generated.sim_end);
+    }
+
+    #[test]
+    fn seed_override_beats_options_seed() {
+        let mut options = configs::smoke_test();
+        let spec = RunSpec::new(Protocol::PaVod)
+            .options(options.clone())
+            .seed(7);
+        assert_eq!(spec.effective_seed(), 7);
+        assert_eq!(spec.protocol(), Protocol::PaVod);
+        options.seed = 7;
+        let via_override = spec.run();
+        let via_options = RunSpec::new(Protocol::PaVod).options(options).run();
+        assert_eq!(via_override.metrics, via_options.metrics);
     }
 
     #[test]
@@ -538,8 +689,8 @@ mod tests {
         // Prefetching needs warm community caches to draw from; use the
         // longer workload (the paper's runs are 25-session steady state).
         let options = configs::smoke_test_long();
-        let with = run_simulation(Protocol::SocialTube, &options);
-        let without = run_simulation(Protocol::SocialTubeNoPrefetch, &options);
+        let with = run(Protocol::SocialTube, &options);
+        let without = run(Protocol::SocialTubeNoPrefetch, &options);
         assert!(with.metrics.prefetch_hits > 0, "no prefetch hits at all");
         assert!(
             with.metrics.mean_startup_delay_ms <= without.metrics.mean_startup_delay_ms,
@@ -554,8 +705,8 @@ mod tests {
         // The crossover needs long viewing histories (Fig 15: NetTube is
         // *cheaper* for small m and overtakes SocialTube as m grows).
         let options = configs::smoke_test_long();
-        let st = run_simulation(Protocol::SocialTube, &options);
-        let nt = run_simulation(Protocol::NetTube, &options);
+        let st = run(Protocol::SocialTube, &options);
+        let nt = run(Protocol::NetTube, &options);
         assert!(
             nt.metrics.steady_state_links() > st.metrics.steady_state_links(),
             "NetTube links {} <= SocialTube links {}",
@@ -578,7 +729,7 @@ mod tests {
         let mut options = configs::smoke_test_long();
         options.workload.abrupt_departure_prob = 0.5;
         for p in [Protocol::SocialTube, Protocol::NetTube, Protocol::PaVod] {
-            let out = run_simulation(p, &options);
+            let out = run(p, &options);
             let expected = 150 * 3 * 10;
             assert!(
                 out.metrics.playbacks as f64 >= f64::from(expected) * 0.95,
@@ -593,7 +744,7 @@ mod tests {
     fn abrupt_failures_leave_link_budget_intact() {
         let mut options = configs::smoke_test_long();
         options.workload.abrupt_departure_prob = 0.7;
-        let out = run_simulation(Protocol::SocialTube, &options);
+        let out = run(Protocol::SocialTube, &options);
         let bound = (options.socialtube.inner_links + options.socialtube.inter_links) as f64;
         for (k, links) in &out.metrics.maintenance_curve {
             assert!(
@@ -612,7 +763,7 @@ mod tests {
 
     #[test]
     fn server_backlog_timeline_is_sampled_and_monotone_in_time() {
-        let out = run_simulation(Protocol::PaVod, &configs::smoke_test());
+        let out = run(Protocol::PaVod, &configs::smoke_test());
         assert!(
             !out.server_backlog_timeline.is_empty(),
             "no backlog samples taken"
@@ -632,7 +783,7 @@ mod tests {
 
     #[test]
     fn upload_burden_is_reasonably_fair_in_socialtube() {
-        let out = run_simulation(Protocol::SocialTube, &configs::smoke_test_long());
+        let out = run(Protocol::SocialTube, &configs::smoke_test_long());
         let fairness = out.upload_fairness.expect("peers uploaded");
         // Zipf-skewed popularity concentrates serving on popular-video
         // holders, but the community structure must keep a broad base of

@@ -8,18 +8,19 @@ use std::collections::BTreeMap;
 
 use socialtube::analysis::{fig15_series, OverheadPoint};
 use socialtube_trace::stats::Percentiles;
-use socialtube_trace::{generate, Trace};
+use socialtube_trace::{generate_shared, SharedTrace};
 
+use crate::campaign::{default_workers, run_specs};
 use crate::configs::ExperimentOptions;
-use crate::driver::{run_simulation_on, SimOutcome};
+use crate::driver::{RunSpec, SimOutcome};
 use crate::Protocol;
 
 /// Outcomes of running every protocol variant over one shared trace and
 /// workload.
 #[derive(Debug)]
 pub struct ComparisonRun {
-    /// The trace all variants shared.
-    pub trace: Trace,
+    /// The trace all variants shared (cheaply cloneable handle).
+    pub trace: SharedTrace,
     /// Outcome per protocol variant.
     pub outcomes: BTreeMap<&'static str, (Protocol, SimOutcome)>,
 }
@@ -35,12 +36,22 @@ impl ComparisonRun {
     }
 }
 
-/// Runs the given protocol variants over one shared trace.
+/// Runs the given protocol variants over one shared trace, fanning the
+/// variants out across worker threads (the results are identical to a
+/// serial loop — each variant is an independent [`RunSpec`]).
 pub fn run_comparison(options: &ExperimentOptions, protocols: &[Protocol]) -> ComparisonRun {
-    let trace = generate(&options.trace, options.seed);
+    let trace = generate_shared(&options.trace, options.seed);
+    let specs: Vec<RunSpec> = protocols
+        .iter()
+        .map(|&p| {
+            RunSpec::new(p)
+                .options(options.clone())
+                .trace(trace.clone())
+        })
+        .collect();
+    let results = run_specs(specs, default_workers());
     let mut outcomes = BTreeMap::new();
-    for &p in protocols {
-        let outcome = run_simulation_on(&trace, p, options);
+    for (&p, outcome) in protocols.iter().zip(results) {
         outcomes.insert(p.label(), (p, outcome));
     }
     ComparisonRun { trace, outcomes }

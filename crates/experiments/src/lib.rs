@@ -17,22 +17,44 @@
 //!   PlanetLab-style configuration.
 //! * [`figures`] — one runner per evaluation figure (16, 17, 18 and the
 //!   analytical 15), each returning the series the paper plots.
+//! * [`campaign`] — multi-run fan-out: expands a protocols × seeds grid
+//!   into [`RunSpec`]s, shares one trace per seed, executes on worker
+//!   threads, and aggregates mean/min/max/CI per protocol.
 //!
 //! # Examples
 //!
 //! Run a small SocialTube simulation end to end:
 //!
 //! ```
-//! use socialtube_experiments::{configs, driver, Protocol};
+//! use socialtube_experiments::{configs, Protocol, RunSpec};
+//!
+//! let outcome = RunSpec::new(Protocol::SocialTube)
+//!     .options(configs::smoke_test())
+//!     .run();
+//! assert!(outcome.metrics.playbacks > 0);
+//! ```
+//!
+//! Share one trace across variants, as the paper's methodology requires:
+//!
+//! ```no_run
+//! use socialtube_experiments::{configs, Protocol, RunSpec};
+//! use socialtube_trace::generate_shared;
 //!
 //! let options = configs::smoke_test();
-//! let outcome = driver::run_simulation(Protocol::SocialTube, &options);
-//! assert!(outcome.metrics.playbacks > 0);
+//! let shared = generate_shared(&options.trace, options.seed);
+//! for protocol in Protocol::ALL {
+//!     let outcome = RunSpec::new(protocol)
+//!         .options(options.clone())
+//!         .trace(shared.clone())
+//!         .run();
+//!     println!("{protocol}: {} playbacks", outcome.metrics.playbacks);
+//! }
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod configs;
 pub mod driver;
 pub mod figures;
@@ -40,8 +62,13 @@ pub mod metrics;
 pub mod net_driver;
 pub mod workload;
 
+pub use campaign::{
+    run_specs, Aggregate, Campaign, CampaignCell, CampaignReport, PlannedRun, ProtocolSummary,
+};
 pub use configs::{ExperimentOptions, NetworkOptions};
-pub use driver::{run_simulation, SimOutcome};
+#[allow(deprecated)]
+pub use driver::run_simulation;
+pub use driver::{run_simulation_on, RunSpec, SimOutcome};
 pub use metrics::{MetricsCollector, MetricsSummary};
 pub use net_driver::{run_net, NetExperimentOptions, NetRun};
 pub use workload::{SelectionMix, WorkloadConfig, WorkloadPlanner};

@@ -42,6 +42,11 @@ pub struct Engine<E> {
     processed: u64,
     /// Events at or after this horizon are silently dropped, ending the run.
     horizon: Option<SimTime>,
+    /// Deliver at most this many events (`None` = unlimited).
+    event_budget: Option<u64>,
+    /// True once [`next_event`](Engine::next_event) refused to deliver
+    /// because the budget was spent.
+    budget_exhausted: bool,
 }
 
 impl<E> Engine<E> {
@@ -52,6 +57,8 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             processed: 0,
             horizon: None,
+            event_budget: None,
+            budget_exhausted: false,
         }
     }
 
@@ -83,6 +90,32 @@ impl<E> Engine<E> {
         self.horizon
     }
 
+    /// Returns true when no events remain to deliver — the run completed on
+    /// its own rather than being cut short by a budget or horizon.
+    pub fn is_drained(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Caps the total number of events this engine will deliver — the
+    /// runaway-simulation safety valve. `0` removes the cap.
+    ///
+    /// Once `max_events` events have been delivered, [`next_event`]
+    /// (and therefore [`run_with`]) returns `None` even if events remain
+    /// queued, and [`budget_exhausted`] reports true.
+    ///
+    /// [`next_event`]: Engine::next_event
+    /// [`run_with`]: Engine::run_with
+    /// [`budget_exhausted`]: Engine::budget_exhausted
+    pub fn set_event_budget(&mut self, max_events: u64) {
+        self.event_budget = (max_events > 0).then_some(max_events);
+    }
+
+    /// True if the run stopped because the event budget was spent while
+    /// events were still pending.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget_exhausted
+    }
+
     /// Schedules `event` at absolute time `at`.
     ///
     /// Events scheduled before the current time are delivered "now": the
@@ -106,6 +139,12 @@ impl<E> Engine<E> {
     ///
     /// Returns `None` when the queue is empty (the run is complete).
     pub fn next_event(&mut self) -> Option<(SimTime, E)> {
+        if let Some(budget) = self.event_budget {
+            if self.processed >= budget {
+                self.budget_exhausted = !self.is_drained();
+                return None;
+            }
+        }
         let (time, event) = self.queue.pop()?;
         debug_assert!(time >= self.now, "event queue yielded a past event");
         self.now = time;
@@ -175,6 +214,60 @@ mod tests {
         }
         assert_eq!(seen, vec![1]);
         assert_eq!(e.horizon(), Some(SimTime::from_micros(1_000)));
+    }
+
+    #[test]
+    fn is_drained_tracks_queue_state() {
+        let mut e: Engine<u8> = Engine::new();
+        assert!(e.is_drained());
+        e.schedule_at(SimTime::from_micros(1), 1);
+        assert!(!e.is_drained());
+        e.next_event();
+        assert!(e.is_drained());
+        assert!(!e.budget_exhausted());
+    }
+
+    #[test]
+    fn event_budget_stops_delivery() {
+        let mut e: Engine<u8> = Engine::new();
+        e.set_event_budget(2);
+        for i in 0..5 {
+            e.schedule_at(SimTime::from_micros(i), i as u8);
+        }
+        let mut seen = Vec::new();
+        while let Some((_, ev)) = e.next_event() {
+            seen.push(ev);
+        }
+        assert_eq!(seen, vec![0, 1]);
+        assert!(e.budget_exhausted(), "events were still pending");
+        assert!(!e.is_drained());
+        assert_eq!(e.processed(), 2);
+    }
+
+    #[test]
+    fn budget_not_exhausted_when_run_drains_first() {
+        let mut e: Engine<u8> = Engine::new();
+        e.set_event_budget(10);
+        e.schedule_at(SimTime::from_micros(1), 1);
+        while e.next_event().is_some() {}
+        assert!(e.is_drained());
+        assert!(!e.budget_exhausted());
+    }
+
+    #[test]
+    fn zero_budget_means_unlimited() {
+        let mut e: Engine<u8> = Engine::new();
+        e.set_event_budget(1);
+        e.set_event_budget(0);
+        for i in 0..4 {
+            e.schedule_at(SimTime::from_micros(i), i as u8);
+        }
+        let mut n = 0;
+        while e.next_event().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 4);
+        assert!(!e.budget_exhausted());
     }
 
     #[test]

@@ -50,7 +50,7 @@ impl PeriodicSampler {
     pub fn due(&mut self, now: SimTime) -> u64 {
         let mut count = 0;
         while self.next_due <= now {
-            self.next_due = self.next_due + self.period;
+            self.next_due += self.period;
             count += 1;
         }
         self.samples_taken += count;

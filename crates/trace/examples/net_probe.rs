@@ -1,0 +1,21 @@
+use socialtube_trace::TraceConfig;
+fn main() {
+    let trace_cfg = TraceConfig {
+        users: 16,
+        channels: 3,
+        categories: 2,
+        videos: 15,
+        video_length_median_secs: 4.0,
+        video_length_cap_secs: 8,
+        bitrate_kbps: 64,
+        subscriptions_mean: 2.0,
+        ..TraceConfig::default()
+    };
+    eprintln!("generating...");
+    let t = socialtube_trace::generate(&trace_cfg, 42);
+    eprintln!(
+        "done: {} users, {} videos",
+        t.graph.user_count(),
+        t.catalog.video_count()
+    );
+}

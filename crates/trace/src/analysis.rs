@@ -170,28 +170,65 @@ pub struct ChannelClustering {
     /// Fraction of edges whose endpoints share an interest category —
     /// the "distinct clusters" observation O4.
     pub intra_category_fraction: f64,
+    /// Null baseline: fraction of *all* channel pairs sharing a category,
+    /// regardless of subscribers. Clustering shows up as
+    /// `intra_category_fraction` exceeding this by a clear margin.
+    pub baseline_fraction: f64,
+}
+
+impl ChannelClustering {
+    /// How much more often strongly-connected channel pairs share a
+    /// category than arbitrary channel pairs do (1.0 = no clustering).
+    pub fn lift(&self) -> f64 {
+        if self.baseline_fraction == 0.0 {
+            return if self.intra_category_fraction > 0.0 {
+                f64::INFINITY
+            } else {
+                1.0
+            };
+        }
+        self.intra_category_fraction / self.baseline_fraction
+    }
 }
 
 /// Computes the Fig 10 statistic with the given shared-subscriber
 /// `threshold` (the paper used 50 at crawl scale).
 pub fn channel_clustering(trace: &Trace, threshold: usize) -> ChannelClustering {
+    let shares_category = |a: &crate::Trace, e_a, e_b| {
+        let ca = a.catalog.channel(e_a).expect("channel exists");
+        let cb = a.catalog.channel(e_b).expect("channel exists");
+        ca.categories().iter().any(|c| cb.has_category(*c))
+    };
     let edges = trace.graph.shared_subscriber_edges(threshold);
-    let mut intra = 0usize;
-    for e in &edges {
-        let ca = trace.catalog.channel(e.a).expect("channel exists");
-        let cb = trace.catalog.channel(e.b).expect("channel exists");
-        if ca.categories().iter().any(|c| cb.has_category(*c)) {
-            intra += 1;
-        }
-    }
+    let intra = edges
+        .iter()
+        .filter(|e| shares_category(trace, e.a, e.b))
+        .count();
     let intra_category_fraction = if edges.is_empty() {
         0.0
     } else {
         intra as f64 / edges.len() as f64
     };
+    let channels: Vec<_> = trace.catalog.channels().map(|c| c.id()).collect();
+    let mut pairs = 0u64;
+    let mut matched = 0u64;
+    for (i, &a) in channels.iter().enumerate() {
+        for &b in &channels[i + 1..] {
+            pairs += 1;
+            if shares_category(trace, a, b) {
+                matched += 1;
+            }
+        }
+    }
+    let baseline_fraction = if pairs == 0 {
+        0.0
+    } else {
+        matched as f64 / pairs as f64
+    };
     ChannelClustering {
         edges,
         intra_category_fraction,
+        baseline_fraction,
     }
 }
 
@@ -326,10 +363,15 @@ mod tests {
         let t = generate(&TraceConfig::default(), 3);
         let clustering = channel_clustering(&t, 5);
         assert!(!clustering.edges.is_empty(), "no shared-subscriber edges");
+        // Clustering = strongly-connected channel pairs share a category far
+        // more often than arbitrary pairs (the absolute fraction depends on
+        // how many categories the config spreads channels over).
         assert!(
-            clustering.intra_category_fraction > 0.5,
-            "intra fraction {}",
-            clustering.intra_category_fraction
+            clustering.lift() > 1.5,
+            "intra fraction {} is only {:.2}x the {} baseline",
+            clustering.intra_category_fraction,
+            clustering.lift(),
+            clustering.baseline_fraction
         );
     }
 

@@ -202,11 +202,12 @@ mod tests {
         // own have (their in-degree in the crawl graph).
         let mut owned_subscribers = vec![0usize; t.graph.user_count()];
         for (ci, owner) in t.channel_owners.iter().enumerate() {
-            owned_subscribers[owner.index()] +=
-                t.graph.subscriber_count(socialtube_model::ChannelId::new(ci as u32));
+            owned_subscribers[owner.index()] += t
+                .graph
+                .subscriber_count(socialtube_model::ChannelId::new(ci as u32));
         }
-        let population_mean = owned_subscribers.iter().sum::<usize>() as f64
-            / owned_subscribers.len() as f64;
+        let population_mean =
+            owned_subscribers.iter().sum::<usize>() as f64 / owned_subscribers.len() as f64;
 
         // Average over several early-stopped crawls.
         let mut sampled_sum = 0.0;

@@ -116,7 +116,13 @@ pub fn generate(config: &TraceConfig, seed: u64) -> Trace {
     let mut channel_weights: Vec<f64> = Vec::with_capacity(config.channels);
     let mut channel_ids: Vec<ChannelId> = Vec::with_capacity(config.channels);
     for i in 0..config.channels {
-        let n_cats = geometric_count(&mut chan_rng, config.extra_category_prob, 4);
+        // Never ask for more distinct categories than exist, or the dedup
+        // loop below cannot terminate.
+        let n_cats = geometric_count(
+            &mut chan_rng,
+            config.extra_category_prob,
+            4.min(config.categories),
+        );
         let mut cats: Vec<CategoryId> = Vec::with_capacity(n_cats);
         let primary = categories[category_zipf.sample(&mut chan_rng) - 1];
         cats.push(primary);

@@ -39,6 +39,7 @@ pub mod crawler;
 pub mod distributions;
 pub mod generator;
 pub mod io;
+pub mod shared;
 pub mod stats;
 
 mod config;
@@ -47,3 +48,4 @@ pub use config::TraceConfig;
 pub use crawler::{crawl, CrawlSample};
 pub use generator::{generate, Trace};
 pub use io::{load, save, TraceIoError};
+pub use shared::{generate_shared, SharedTrace};

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use socialtube::{Command, Outbox, SocialTubeConfig, SocialTubePeer, VodPeer};
-use socialtube_experiments::{configs, run_simulation, Protocol};
+use socialtube_experiments::{configs, Protocol, RunSpec};
 use socialtube_model::CatalogBuilder;
 use socialtube_model::NodeId;
 use socialtube_sim::SimTime;
@@ -49,7 +49,7 @@ fn main() {
     // ------------------------------------------------------------------
     println!("\nRunning a small trace-driven simulation (SocialTube)...");
     let options = configs::smoke_test();
-    let outcome = run_simulation(Protocol::SocialTube, &options);
+    let outcome = RunSpec::new(Protocol::SocialTube).options(options).run();
     let m = &outcome.metrics;
     println!("  playbacks started:        {}", m.playbacks);
     println!(

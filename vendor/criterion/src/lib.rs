@@ -1,0 +1,227 @@
+//! Offline mini benchmark harness, API-compatible with the `criterion`
+//! subset this workspace uses.
+//!
+//! Each `bench_function` warms up once, then runs the body `sample_size`
+//! times and prints min/mean per-iteration wall-clock (plus throughput when
+//! configured). No statistics machinery, no HTML reports — just honest
+//! timings to stdout, which is what the perf trajectory tracking needs when
+//! crates.io is unreachable. Passing `--test` (as `cargo test` does for
+//! bench targets) runs every benchmark exactly once as a smoke check.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (std's `black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. In test mode run once, fast.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 100,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        run_benchmark(name.as_ref(), samples, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sizing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the group's sample size.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size.unwrap_or(self.criterion.sample_size)
+        };
+        let label = format!("{}/{}", self.name, id.as_ref());
+        run_benchmark(&label, samples, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed.push(start.elapsed());
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher::default();
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    if bencher.elapsed.is_empty() {
+        println!("{label:<50} (no iterations)");
+        return;
+    }
+    let min = bencher.elapsed.iter().min().expect("non-empty");
+    let total: Duration = bencher.elapsed.iter().sum();
+    let mean = total / bencher.elapsed.len() as u32;
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  {:>12.0} elem/s", n as f64 / min.as_secs_f64())
+            }
+            Throughput::Bytes(n) => {
+                format!("  {:>12.0} B/s", n as f64 / min.as_secs_f64())
+            }
+        })
+        .unwrap_or_default();
+    println!(
+        "{label:<50} min {:>12?}  mean {:>12?}  ({} samples){rate}",
+        min,
+        mean,
+        bencher.elapsed.len()
+    );
+}
+
+/// Declares a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_prints() {
+        let mut c = Criterion::default().sample_size(3);
+        c.test_mode = true;
+        let mut runs = 0;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 1, "test mode runs one sample");
+    }
+
+    #[test]
+    fn groups_apply_sample_size() {
+        let mut c = Criterion::default().sample_size(5);
+        c.test_mode = false;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        let mut runs = 0;
+        group.bench_function("inner", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 2);
+    }
+}

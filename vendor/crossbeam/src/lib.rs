@@ -1,0 +1,50 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module is provided, backed directly by
+//! `std::sync::mpsc` — the workspace uses unbounded MPSC channels with
+//! `recv`/`recv_timeout`/`try_recv`, which std covers one-to-one.
+
+/// Multi-producer channels (std `mpsc` re-exports).
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+    /// A receiver handle (std's `mpsc::Receiver`).
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn unbounded_delivers_in_order() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..10 {
+                assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), i);
+            }
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        }
+
+        #[test]
+        fn timeout_and_disconnect_are_distinct() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+    }
+}

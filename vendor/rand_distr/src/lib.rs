@@ -1,0 +1,209 @@
+//! Offline, dependency-free stand-in for `rand_distr`.
+//!
+//! Provides the three samplers this workspace draws from — [`Poisson`],
+//! [`LogNormal`] and [`Pareto`] — over the vendored `rand`'s
+//! [`Distribution`] trait. Algorithms are the textbook ones (Knuth product
+//! method with a normal approximation for large means, Box–Muller, inverse
+//! CDF); means and tail shapes match upstream, individual sequences do not.
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Error returned for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// A uniform draw from the open interval `(0, 1)`: safe to take `ln` of.
+fn open01<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// A standard normal draw via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = open01(rng);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The Poisson distribution `Poisson(λ)`, sampled as `f64` counts.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a `Poisson(λ)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive or non-finite `λ`.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Self { lambda })
+        } else {
+            Err(ParamError("Poisson mean must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's product method: exact for small means.
+            let limit = (-self.lambda).exp();
+            let mut product = open01(rng);
+            let mut count = 0.0;
+            while product > limit {
+                product *= open01(rng);
+                count += 1.0;
+            }
+            count
+        } else {
+            // Normal approximation: for λ ≥ 30 the error is far below what
+            // any simulation statistic here resolves.
+            (self.lambda + self.lambda.sqrt() * standard_normal(rng))
+                .round()
+                .max(0.0)
+        }
+    }
+}
+
+/// The log-normal distribution: `exp(μ + σ·N(0,1))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with location `mu` and scale `sigma` (of the
+    /// underlying normal).
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative or non-finite `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if sigma >= 0.0 && sigma.is_finite() && mu.is_finite() {
+            Ok(Self { mu, sigma })
+        } else {
+            Err(ParamError(
+                "LogNormal sigma must be non-negative and finite",
+            ))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// The Pareto distribution with scale `x_m` and shape `α`.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates a `Pareto(scale, shape)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive scale or shape.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, ParamError> {
+        if scale > 0.0 && shape > 0.0 && scale.is_finite() && shape.is_finite() {
+            Ok(Self { scale, shape })
+        } else {
+            Err(ParamError("Pareto scale and shape must be positive"))
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: x_m · U^(-1/α).
+        self.scale * open01(rng).powf(-1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn poisson_small_mean_is_calibrated() {
+        let p = Poisson::new(3.0).unwrap();
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| p.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_is_calibrated() {
+        let p = Poisson::new(500.0).unwrap();
+        let mut r = rng();
+        let n = 10_000;
+        let samples: Vec<f64> = (0..n).map(|_| p.sample(&mut r)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 500.0).abs() < 2.0, "mean {mean}");
+        assert!(
+            (var.sqrt() - 500f64.sqrt()).abs() < 2.0,
+            "std {}",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn pareto_median_matches_closed_form() {
+        // Median of Pareto(x_m, α) is x_m · 2^(1/α).
+        let p = Pareto::new(2.0, 1.5).unwrap();
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| p.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let expect = 2.0 * 2f64.powf(1.0 / 1.5);
+        assert!((median - expect).abs() / expect < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let d = LogNormal::new(2.0, 0.8).unwrap();
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let expect = 2f64.exp();
+        assert!((median - expect).abs() / expect < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(Pareto::new(0.0, 1.0).is_err());
+    }
+}

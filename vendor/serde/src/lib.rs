@@ -1,0 +1,21 @@
+//! Offline, dependency-free stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` to document
+//! intent — nothing serializes yet (no format crate is available offline).
+//! The traits are therefore empty markers, and the derives expand to
+//! nothing. When a real serialization backend lands, replace this vendored
+//! crate with upstream serde; every `#[derive(Serialize, Deserialize)]` in
+//! the tree is already in place.
+
+/// Marker for types that will be serializable once a real backend exists.
+pub trait Serialize {}
+
+/// Marker for types that will be deserializable once a real backend exists.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization marker, mirroring serde's blanket relationship.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stand-in.
+//!
+//! The derives accept (and ignore) `#[serde(...)]` attributes so existing
+//! annotations keep compiling, and expand to nothing: the vendored `serde`
+//! traits are empty markers.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
