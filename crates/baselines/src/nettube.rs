@@ -34,6 +34,9 @@ pub struct NetTubeConfig {
     pub prefetch_delay: SimDuration,
     /// Optional cache capacity in videos.
     pub cache_capacity: Option<usize>,
+    /// Bound on the duplicate-suppression window for flooded queries
+    /// (oldest request ids evicted first).
+    pub seen_query_window: usize,
 }
 
 impl Default for NetTubeConfig {
@@ -49,6 +52,7 @@ impl Default for NetTubeConfig {
             chunk_timeout: SimDuration::from_secs(60),
             prefetch_delay: SimDuration::from_secs(2),
             cache_capacity: None,
+            seen_query_window: 512,
         }
     }
 }
@@ -75,9 +79,6 @@ struct Search {
     asked_server: bool,
     served_by_server: bool,
 }
-
-/// Bound on the duplicate-suppression window for flooded queries.
-const SEEN_QUERY_WINDOW: usize = 512;
 
 /// A NetTube peer.
 ///
@@ -182,7 +183,7 @@ impl NetTubePeer {
             return false;
         }
         self.seen_order.push_back(id);
-        while self.seen_order.len() > SEEN_QUERY_WINDOW {
+        while self.seen_order.len() > self.config.seen_query_window {
             if let Some(old) = self.seen_order.pop_front() {
                 self.seen_queries.remove(&old);
             }

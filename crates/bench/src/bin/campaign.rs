@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p socialtube-bench --bin campaign -- \
-//!     [--scale demo|figure|full] [--seeds N] [--seed BASE] [--workers N] [--out PATH]
+//!     [--scale demo|figure|full] [--seeds N] [--seed BASE] [--workers N] \
+//!     [--protocols socialtube,pavod,...] [--out PATH]
 //! ```
 //!
 //! Runs the protocols × seeds grid twice — once on a single thread, once on
@@ -19,6 +20,7 @@ fn main() {
     let mut seeds: usize = 4;
     let mut base_seed: u64 = 42;
     let mut workers: usize = socialtube_experiments::campaign::default_workers();
+    let mut protocols: Vec<Protocol> = Protocol::ALL.to_vec();
     let mut out = "BENCH_campaign.json".to_string();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +37,17 @@ fn main() {
             "--seeds" => seeds = value("--seeds").parse().expect("--seeds: integer"),
             "--seed" => base_seed = value("--seed").parse().expect("--seed: integer"),
             "--workers" => workers = value("--workers").parse().expect("--workers: integer"),
+            "--protocols" => {
+                protocols = value("--protocols")
+                    .split(',')
+                    .map(|name| {
+                        name.parse().unwrap_or_else(|e| {
+                            eprintln!("--protocols: {e}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
             "--out" => out = value("--out"),
             other => {
                 eprintln!("unknown argument {other}");
@@ -60,13 +73,13 @@ fn main() {
     options.seed = base_seed;
 
     let campaign = Campaign::new(options)
-        .protocols(&Protocol::ALL)
+        .protocols(&protocols)
         .replicates(seeds)
         .workers(workers);
     let runs = campaign.plan().len();
     println!(
         "# campaign: {} protocols × {seeds} seeds = {runs} runs (scale {scale})",
-        Protocol::ALL.len()
+        protocols.len()
     );
 
     println!("# serial baseline ...");

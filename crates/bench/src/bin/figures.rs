@@ -18,7 +18,9 @@ use socialtube::SocialTubeConfig;
 use socialtube_bench::CsvWriter;
 use socialtube_experiments::figures as xfig;
 use socialtube_experiments::{configs, net_driver, ExperimentOptions, Protocol, RunSpec};
-use socialtube_trace::{analysis, generate, stats::Percentiles, Trace, TraceConfig};
+use socialtube_trace::{
+    analysis, generate, generate_shared, stats::Percentiles, Trace, TraceConfig,
+};
 
 const OUT_DIR: &str = "target/figures";
 
@@ -244,11 +246,15 @@ fn run_net_all(scale: Scale, seed: u64) -> Vec<(Protocol, net_driver::NetRun)> {
         "# deploying TCP testbed ({} peers, {} sessions × {} videos) for 5 protocol variants",
         options.trace.users, options.testbed.sessions_per_node, options.testbed.videos_per_session
     );
+    // One shared trace for all five variants (the paper's methodology);
+    // each deployment borrows the same Arc'd catalog instead of
+    // regenerating it.
+    let shared = generate_shared(&options.trace, options.seed);
     Protocol::ALL
         .iter()
         .map(|p| {
             println!("#   running {p} over real sockets ...");
-            (*p, net_driver::run_net(*p, &options))
+            (*p, net_driver::run_net_on(&shared, *p, &options))
         })
         .collect()
 }

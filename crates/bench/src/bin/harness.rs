@@ -1,0 +1,140 @@
+//! Harness throughput benchmark: events/second through the refactored
+//! simulation driver, with a machine-readable report and an optional floor.
+//!
+//! ```text
+//! cargo run --release -p socialtube-bench --bin harness -- \
+//!     [--seed N] [--min-events-per-sec N] [--out PATH]
+//! ```
+//!
+//! Runs every protocol once over one shared trace (the steady-state smoke
+//! workload) through `RunSpec` — i.e. through `StackBuilder`,
+//! `SessionDirector` and the `CommandInterpreter`/`SimSubstrate` pipeline —
+//! and writes `BENCH_harness.json`. The `--min-events-per-sec` guard turns
+//! the report into a regression gate: exit nonzero if the harness layer
+//! ever makes event dispatch slower than the floor.
+
+use std::io::Write;
+use std::time::Instant;
+
+use socialtube_experiments::{configs, Protocol, RunSpec};
+use socialtube_trace::generate_shared;
+
+struct Cell {
+    protocol: Protocol,
+    events: u64,
+    secs: f64,
+}
+
+fn main() {
+    let mut seed: u64 = 42;
+    let mut min_eps: f64 = 0.0;
+    let mut out = "BENCH_harness.json".to_string();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--seed" => seed = value("--seed").parse().expect("--seed: integer"),
+            "--min-events-per-sec" => {
+                min_eps = value("--min-events-per-sec")
+                    .parse()
+                    .expect("--min-events-per-sec: number");
+            }
+            "--out" => out = value("--out"),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut options = configs::smoke_test_long();
+    options.seed = seed;
+    let trace_start = Instant::now();
+    let shared = generate_shared(&options.trace, seed);
+    let trace_secs = trace_start.elapsed().as_secs_f64();
+    println!(
+        "# harness bench: {} users, trace generated in {trace_secs:.2}s",
+        shared.graph.user_count()
+    );
+
+    let mut cells = Vec::new();
+    for protocol in Protocol::ALL {
+        let start = Instant::now();
+        let outcome = RunSpec::new(protocol)
+            .options(options.clone())
+            .trace(shared.clone())
+            .run();
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "#   {protocol}: {} events in {secs:.2}s = {:.0} events/s",
+            outcome.events,
+            outcome.events as f64 / secs.max(1e-9)
+        );
+        assert!(!outcome.truncated, "{protocol} hit the event budget");
+        cells.push(Cell {
+            protocol,
+            events: outcome.events,
+            secs,
+        });
+    }
+
+    let total_events: u64 = cells.iter().map(|c| c.events).sum();
+    let total_secs: f64 = cells.iter().map(|c| c.secs).sum();
+    let eps = total_events as f64 / total_secs.max(1e-9);
+    println!("# total: {total_events} events, {total_secs:.2}s, {eps:.0} events/s");
+
+    let json = render_json(seed, trace_secs, &cells, total_events, total_secs, eps);
+    let mut file = std::fs::File::create(&out).expect("create report file");
+    file.write_all(json.as_bytes()).expect("write report");
+    println!("# report written to {out}");
+
+    if min_eps > 0.0 && eps < min_eps {
+        eprintln!("harness throughput {eps:.0} events/s below the floor {min_eps:.0}");
+        std::process::exit(1);
+    }
+}
+
+/// Hand-rendered JSON (the workspace's serde stub does not serialize).
+fn render_json(
+    seed: u64,
+    trace_secs: f64,
+    cells: &[Cell],
+    total_events: u64,
+    total_secs: f64,
+    eps: f64,
+) -> String {
+    let mut per_protocol = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            per_protocol.push_str(",\n");
+        }
+        per_protocol.push_str(&format!(
+            "    {{\"protocol\": \"{}\", \"events\": {}, \"wall_clock_s\": {:.3}, \"events_per_sec\": {:.0}}}",
+            c.protocol.key(),
+            c.events,
+            c.secs,
+            c.events as f64 / c.secs.max(1e-9),
+        ));
+    }
+    format!(
+        r#"{{
+  "benchmark": "harness",
+  "seed": {seed},
+  "trace_wall_clock_s": {trace_secs:.3},
+  "total_events": {total_events},
+  "total_wall_clock_s": {total_secs:.3},
+  "events_per_sec": {eps:.0},
+  "per_protocol": [
+{per_protocol}
+  ]
+}}
+"#
+    )
+}

@@ -47,6 +47,11 @@ pub struct SocialTubeConfig {
     /// Optional cache capacity in videos (`None` = unbounded, the paper's
     /// setting: short videos make caching all watched videos cheap).
     pub cache_capacity: Option<usize>,
+    /// Bound on the duplicate-suppression window for flooded queries: the
+    /// peer remembers at most this many recent request ids, evicting the
+    /// oldest first. Keeps long-lived peers at O(window) memory instead of
+    /// growing with every query ever seen.
+    pub seen_query_window: usize,
 }
 
 impl Default for SocialTubeConfig {
@@ -64,6 +69,7 @@ impl Default for SocialTubeConfig {
             login_timeout: SimDuration::from_secs(3),
             prefetch_delay: SimDuration::from_secs(2),
             cache_capacity: None,
+            seen_query_window: 512,
         }
     }
 }
@@ -95,6 +101,9 @@ impl SocialTubeConfig {
         }
         if self.prefetch && self.prefetch_count == 0 {
             return Err("prefetch enabled but prefetch_count is zero".into());
+        }
+        if self.seen_query_window == 0 {
+            return Err("seen_query_window must be positive".into());
         }
         Ok(())
     }

@@ -62,6 +62,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod harness;
 
 mod cache;
 mod config;

@@ -55,9 +55,6 @@ pub struct SocialTubePeer {
     next_nonce: u64,
 }
 
-/// Bound on the duplicate-suppression window for flooded queries.
-const SEEN_QUERY_WINDOW: usize = 512;
-
 impl SocialTubePeer {
     /// Creates an offline peer for `node`, subscribed to `subscriptions`.
     ///
@@ -194,7 +191,7 @@ impl SocialTubePeer {
             return false;
         }
         self.seen_order.push_back(id);
-        while self.seen_order.len() > SEEN_QUERY_WINDOW {
+        while self.seen_order.len() > self.config.seen_query_window {
             if let Some(old) = self.seen_order.pop_front() {
                 self.seen_queries.remove(&old);
             }
@@ -902,6 +899,33 @@ mod tests {
             vec![chans[0]],
             SocialTubeConfig::default(),
         )
+    }
+
+    #[test]
+    fn seen_query_window_caps_duplicate_suppression_state() {
+        let (catalog, chans, _) = fixture();
+        let config = SocialTubeConfig {
+            seen_query_window: 8,
+            ..SocialTubeConfig::default()
+        };
+        let mut p = SocialTubePeer::new(NodeId::new(0), catalog, vec![chans[0]], config);
+        for i in 0..100u32 {
+            assert!(p.mark_seen(RequestId::new(NodeId::new(1), i)));
+            assert!(p.seen_queries.len() <= 8, "set grew past the window");
+            assert_eq!(p.seen_queries.len(), p.seen_order.len());
+        }
+        // Evicted ids are forgotten (accepted again); recent ones are not.
+        assert!(p.mark_seen(RequestId::new(NodeId::new(1), 0)));
+        assert!(!p.mark_seen(RequestId::new(NodeId::new(1), 99)));
+    }
+
+    #[test]
+    fn zero_seen_query_window_fails_validation() {
+        let config = SocialTubeConfig {
+            seen_query_window: 0,
+            ..SocialTubeConfig::default()
+        };
+        assert!(config.validate().is_err());
     }
 
     fn sent_to_server(out: &Outbox) -> Vec<&Message> {

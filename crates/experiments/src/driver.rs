@@ -1,27 +1,29 @@
 //! The discrete-event simulation driver (the PeerSim role).
 //!
-//! Owns everything the sans-IO protocol machines do not: the virtual clock,
-//! message delivery with propagation latency, per-peer upload links, the
-//! server's bounded pipe, session churn, and video selection. Any
-//! [`VodPeer`]/[`VodServer`] pair runs unmodified under it.
+//! Owns the virtual clock and the event loop; everything else is the shared
+//! harness layer. Stack construction is [`StackBuilder`], session/churn/
+//! video-selection logic is [`SessionDirector`], and queued protocol
+//! commands become engine events through the core
+//! [`CommandInterpreter`] over the [`SimSubstrate`]. Any
+//! [`VodPeer`](socialtube::VodPeer)/[`VodServer`](socialtube::VodServer)
+//! pair runs unmodified under it.
 
 use std::sync::Arc;
 
-use socialtube::{
-    Command, Message, Outbox, PeerAddr, Report, ServerCommand, ServerOutbox, SocialTubeConfig,
-    SocialTubePeer, SocialTubeServer, TimerKind, TransferKind, VodPeer, VodServer,
-};
-use socialtube_baselines::{NetTubeConfig, NetTubePeer, NetTubeServer, PaVodPeer, PaVodServer};
-use socialtube_model::{Catalog, NodeId, VideoId};
+use socialtube::harness::CommandInterpreter;
+use socialtube::{Message, Outbox, PeerAddr, Report, ServerOutbox, TimerKind};
+use socialtube_model::{Catalog, NodeId};
 use socialtube_sim::{
-    ChurnProcess, Engine, LatencyModel, PeriodicSampler, ServerQueue, SimDuration, SimRng, SimTime,
+    Engine, LatencyModel, PeriodicSampler, ServerQueue, SimDuration, SimRng, SimTime,
     UploadScheduler,
 };
 use socialtube_trace::{generate, SharedTrace, Trace};
 
 use crate::configs::ExperimentOptions;
+use crate::harness::{
+    ProtocolStack, SessionDirector, SessionStep, SimEvent, SimSubstrate, StackBuilder,
+};
 use crate::metrics::{MetricsCollector, MetricsSummary};
-use crate::workload::WorkloadPlanner;
 use crate::Protocol;
 
 /// Events the driver schedules on the engine.
@@ -47,16 +49,16 @@ enum Ev {
     PeerTimer { node: NodeId, kind: TimerKind },
 }
 
-/// Per-node session bookkeeping.
-#[derive(Debug)]
-struct NodeState {
-    churn: ChurnProcess,
-    videos_left_in_session: u32,
-    videos_watched_total: u32,
-    current_video: Option<VideoId>,
-    awaiting_playback: bool,
-    /// The next session end is an abrupt failure, not a graceful logoff.
-    abrupt_next: bool,
+impl SimEvent for Ev {
+    fn peer_msg(to: NodeId, from: PeerAddr, msg: Message) -> Self {
+        Ev::PeerMsg { to, from, msg }
+    }
+    fn server_msg(from: NodeId, msg: Message) -> Self {
+        Ev::ServerMsg { from, msg }
+    }
+    fn peer_timer(node: NodeId, kind: TimerKind) -> Self {
+        Ev::PeerTimer { node, kind }
+    }
 }
 
 /// Result of one simulation run.
@@ -170,9 +172,14 @@ impl RunSpec {
                 seed,
             ),
             None => {
-                let trace = generate(&self.options.trace, seed);
-                let catalog = Arc::new(trace.catalog.clone());
-                run_with_catalog(&trace, catalog, self.protocol, &self.options, seed)
+                let shared = SharedTrace::new(generate(&self.options.trace, seed));
+                run_with_catalog(
+                    shared.trace(),
+                    Arc::clone(shared.catalog()),
+                    self.protocol,
+                    &self.options,
+                    seed,
+                )
             }
         }
     }
@@ -187,75 +194,12 @@ pub fn run_simulation(protocol: Protocol, options: &ExperimentOptions) -> SimOut
     RunSpec::new(protocol).options(options.clone()).run()
 }
 
-fn build_peers(
-    trace: &Trace,
-    protocol: Protocol,
-    options: &ExperimentOptions,
-    root: &SimRng,
-    catalog: &Arc<Catalog>,
-) -> (Vec<Box<dyn VodPeer>>, Box<dyn VodServer>) {
-    let users = trace.graph.user_count();
-    let mut peers: Vec<Box<dyn VodPeer>> = Vec::with_capacity(users);
-    match protocol {
-        Protocol::SocialTube | Protocol::SocialTubeNoPrefetch => {
-            let config = SocialTubeConfig {
-                prefetch: protocol == Protocol::SocialTube,
-                ..options.socialtube.clone()
-            };
-            for u in 0..users {
-                let node = NodeId::new(u as u32);
-                let subs = trace
-                    .graph
-                    .user(node)
-                    .map(|x| x.subscriptions().to_vec())
-                    .unwrap_or_default();
-                peers.push(Box::new(SocialTubePeer::new(
-                    node,
-                    Arc::clone(catalog),
-                    subs,
-                    config.clone(),
-                )));
-            }
-            let server = SocialTubeServer::new(Arc::clone(catalog), root.stream("server"));
-            (peers, Box::new(server))
-        }
-        Protocol::NetTube | Protocol::NetTubeNoPrefetch => {
-            let config = NetTubeConfig {
-                prefetch: protocol == Protocol::NetTube,
-                ..options.nettube.clone()
-            };
-            for u in 0..users {
-                let node = NodeId::new(u as u32);
-                peers.push(Box::new(NetTubePeer::new(
-                    node,
-                    Arc::clone(catalog),
-                    config.clone(),
-                    root.stream_indexed("nettube-peer", u as u64),
-                )));
-            }
-            let server = NetTubeServer::new(Arc::clone(catalog), root.stream("server"));
-            (peers, Box::new(server))
-        }
-        Protocol::PaVod => {
-            for u in 0..users {
-                let node = NodeId::new(u as u32);
-                peers.push(Box::new(PaVodPeer::new(
-                    node,
-                    Arc::clone(catalog),
-                    options.pavod.clone(),
-                )));
-            }
-            let server = PaVodServer::new(Arc::clone(catalog), root.stream("server"));
-            (peers, Box::new(server))
-        }
-    }
-}
-
 /// Runs `protocol` over an existing `trace`, seeding from `options.seed`.
-///
-/// Deep-copies the trace's catalog once per call; prefer
-/// [`RunSpec::trace`] with a [`SharedTrace`] when running several variants
-/// or replicates over the same trace.
+#[deprecated(
+    since = "0.3.0",
+    note = "deep-copies the trace's catalog on every call; build a `SharedTrace` once \
+            and use `RunSpec::new(protocol).options(..).trace(shared).run()`"
+)]
 pub fn run_simulation_on(
     trace: &Trace,
     protocol: Protocol,
@@ -267,6 +211,11 @@ pub fn run_simulation_on(
 
 /// The actual run loop: all entry points funnel here with an explicit
 /// root seed and a pre-built catalog handle.
+///
+/// The loop itself owns only the virtual clock and event dispatch; the
+/// stack comes from [`StackBuilder`], session logic from
+/// [`SessionDirector`], and command execution from the shared
+/// [`CommandInterpreter`] over the [`SimSubstrate`].
 fn run_with_catalog(
     trace: &Trace,
     catalog: Arc<Catalog>,
@@ -277,8 +226,12 @@ fn run_with_catalog(
     let root = SimRng::seed(seed ^ 0x50c1_a17b);
     let users = trace.graph.user_count();
 
-    let (mut peers, mut server) = build_peers(trace, protocol, options, &root, &catalog);
-    let mut planner = WorkloadPlanner::new(root.stream("workload"));
+    let ProtocolStack {
+        mut peers,
+        mut server,
+    } = StackBuilder::from_options(protocol, Arc::clone(&catalog), options).build(trace, &root);
+    let mut director = SessionDirector::new(users, options.workload.clone(), &root);
+    let interpreter = CommandInterpreter::new(Arc::clone(&catalog));
     let latency = LatencyModel::new(
         &root,
         options.network.latency_min,
@@ -291,35 +244,14 @@ fn run_with_catalog(
     engine.set_event_budget(options.max_events);
     let mut tracked_peak = 0usize;
 
-    // Per-node session plans: staggered first logins.
-    let mut nodes: Vec<NodeState> = Vec::with_capacity(users);
-    let mut stagger_rng = root.stream("stagger");
+    // Staggered first logins, offsets drawn by the director.
     for u in 0..users {
-        use rand::Rng;
-        // The first session starts at the stagger offset; the churn process
-        // only supplies the off periods *between* sessions, hence `n - 1`.
-        let churn = ChurnProcess::new(
-            root.stream_indexed("churn", u as u64),
-            options.workload.mean_off,
-            options.workload.sessions_per_node.saturating_sub(1),
-        );
-        nodes.push(NodeState {
-            churn,
-            videos_left_in_session: 0,
-            videos_watched_total: 0,
-            current_video: None,
-            awaiting_playback: false,
-            abrupt_next: false,
-        });
-        let offset = SimDuration::from_micros(
-            stagger_rng.gen_range(0..=options.workload.login_stagger.as_micros().max(1)),
-        );
-        engine.schedule_at(SimTime::ZERO + offset, Ev::Login(NodeId::new(u as u32)));
+        let node = NodeId::new(u as u32);
+        engine.schedule_at(SimTime::ZERO + director.login_offset(node), Ev::Login(node));
     }
 
     let mut outbox = Outbox::new();
     let mut server_outbox = ServerOutbox::new();
-    let mut fail_rng = root.stream("failures");
     let mut backlog_sampler = PeriodicSampler::new(SimDuration::from_mins(1));
     let mut server_backlog_timeline: Vec<(u64, SimDuration)> = Vec::new();
 
@@ -333,18 +265,15 @@ fn run_with_catalog(
         match ev {
             Ev::Login(node) => {
                 actor = Some(node);
-                nodes[node.index()].videos_left_in_session = options.workload.videos_per_session;
-                // Decide this session's exit mode up front (deterministic).
-                nodes[node.index()].abrupt_next =
-                    fail_rng.chance(options.workload.abrupt_departure_prob);
+                director.on_login(node);
                 peers[node.index()].on_login(now, &mut outbox);
-                engine.schedule_in(options.workload.browse_delay, Ev::NextVideo(node));
+                engine.schedule_in(director.workload().browse_delay, Ev::NextVideo(node));
             }
 
             Ev::Logout(node) => {
                 actor = Some(node);
                 peers[node.index()].on_logout(now, &mut outbox);
-                if nodes[node.index()].abrupt_next {
+                if director.is_abrupt_exit(node) {
                     // Abrupt failure: the process died before any goodbye
                     // could leave the machine. Dropping the outbox models
                     // exactly that — neighbors and the server only learn of
@@ -352,7 +281,7 @@ fn run_with_catalog(
                     outbox.drain();
                     actor = None;
                 }
-                if let Some(off) = nodes[node.index()].churn.next_off_period() {
+                if let Some(off) = director.on_logout(node) {
                     engine.schedule_in(off, Ev::Login(node));
                 }
             }
@@ -360,10 +289,7 @@ fn run_with_catalog(
             Ev::NextVideo(node) => {
                 actor = Some(node);
                 if peers[node.index()].is_online() {
-                    let prev = nodes[node.index()].current_video;
-                    if let Some(video) = planner.next_video(trace, node, prev) {
-                        nodes[node.index()].current_video = Some(video);
-                        nodes[node.index()].awaiting_playback = true;
+                    if let Some(video) = director.next_video(trace, node) {
                         peers[node.index()].watch(now, video, &mut outbox);
                     }
                 }
@@ -371,10 +297,13 @@ fn run_with_catalog(
 
             Ev::WatchEnd(node) => {
                 if peers[node.index()].is_online() {
-                    if nodes[node.index()].videos_left_in_session > 0 {
-                        engine.schedule_in(options.workload.browse_delay, Ev::NextVideo(node));
-                    } else {
-                        engine.schedule_at(now, Ev::Logout(node));
+                    match director.on_watch_end(node) {
+                        SessionStep::Continue(browse) => {
+                            engine.schedule_in(browse, Ev::NextVideo(node));
+                        }
+                        SessionStep::EndSession => {
+                            engine.schedule_at(now, Ev::Logout(node));
+                        }
                     }
                 }
             }
@@ -398,28 +327,41 @@ fn run_with_catalog(
         }
 
         if let Some(actor) = actor {
-            flush_peer_commands(
-                actor,
+            let mut sub = SimSubstrate {
                 now,
-                &mut outbox,
-                &mut engine,
-                &latency,
-                &mut uploads,
-                &mut metrics,
-                &mut nodes,
-                &peers,
-                &catalog,
-            );
+                engine: &mut engine,
+                latency: &latency,
+                uploads: &mut uploads,
+                server_queue: &mut server_queue,
+            };
+            CommandInterpreter::flush_peer(actor, &mut outbox, &mut sub, |sub, report| {
+                metrics.on_report(now, report);
+                if let Report::PlaybackStarted { node, video, .. } = report {
+                    if let Some(watched) = director.on_playback_started(node, video) {
+                        // A real playback: sample maintenance overhead and
+                        // schedule the end of the watch.
+                        metrics.sample_links(watched, peers[node.index()].link_count());
+                        let length = catalog
+                            .video(video)
+                            .map(|v| SimDuration::from_secs(u64::from(v.length_secs())))
+                            .unwrap_or(SimDuration::from_secs(60));
+                        sub.engine.schedule_in(length, Ev::WatchEnd(node));
+                    }
+                }
+            });
         }
-        flush_server_commands(
-            now,
-            &mut server_outbox,
-            &mut engine,
-            &latency,
-            &mut server_queue,
-            &mut metrics,
-            &catalog,
-        );
+        {
+            let mut sub = SimSubstrate {
+                now,
+                engine: &mut engine,
+                latency: &latency,
+                uploads: &mut uploads,
+                server_queue: &mut server_queue,
+            };
+            interpreter.flush_server(&mut server_outbox, &mut sub, |_, report| {
+                metrics.on_report(now, report);
+            });
+        }
     }
 
     let contributions: Vec<f64> = (0..users)
@@ -434,153 +376,6 @@ fn run_with_catalog(
         upload_fairness: socialtube_trace::stats::jain_fairness(&contributions),
         server_backlog_timeline,
         truncated: engine.budget_exhausted(),
-    }
-}
-
-/// Applies a peer's queued commands: schedules deliveries with latency and
-/// upload-link serialization, arms timers, and routes reports into both the
-/// metrics and the session state machine.
-#[allow(clippy::too_many_arguments)]
-fn flush_peer_commands(
-    actor: NodeId,
-    now: SimTime,
-    outbox: &mut Outbox,
-    engine: &mut Engine<Ev>,
-    latency: &LatencyModel,
-    uploads: &mut UploadScheduler,
-    metrics: &mut MetricsCollector,
-    nodes: &mut [NodeState],
-    peers: &[Box<dyn VodPeer>],
-    catalog: &Arc<Catalog>,
-) {
-    for cmd in outbox.drain() {
-        match cmd {
-            Command::ToPeer { to, msg } => {
-                // Bulk data is serialized through the sender's upload link;
-                // signalling pays only propagation delay.
-                let ready = if msg.is_bulk() {
-                    let bits = match &msg {
-                        Message::ChunkData { bits, .. } => *bits,
-                        _ => 0,
-                    };
-                    uploads.upload(actor.index(), now, bits)
-                } else {
-                    now
-                };
-                let arrival = ready + latency.delay(actor.as_u32(), to.as_u32());
-                engine.schedule_at(
-                    arrival,
-                    Ev::PeerMsg {
-                        to,
-                        from: PeerAddr::Peer(actor),
-                        msg,
-                    },
-                );
-            }
-            Command::ToServer { msg } => {
-                let arrival = now + latency.server_delay(actor.as_u32());
-                engine.schedule_at(arrival, Ev::ServerMsg { from: actor, msg });
-            }
-            Command::Timer { delay, kind } => {
-                engine.schedule_in(delay, Ev::PeerTimer { node: actor, kind });
-            }
-            Command::Report(report) => {
-                metrics.on_report(now, report);
-                if let Report::PlaybackStarted { node, video, .. } = report {
-                    on_playback_started(node, video, engine, metrics, nodes, peers, catalog);
-                }
-            }
-        }
-    }
-}
-
-/// Driver-side bookkeeping when a playback begins: advance the session,
-/// sample maintenance overhead, and schedule the end of the watch.
-fn on_playback_started(
-    node: NodeId,
-    video: VideoId,
-    engine: &mut Engine<Ev>,
-    metrics: &mut MetricsCollector,
-    nodes: &mut [NodeState],
-    peers: &[Box<dyn VodPeer>],
-    catalog: &Arc<Catalog>,
-) {
-    let state = &mut nodes[node.index()];
-    if !state.awaiting_playback || state.current_video != Some(video) {
-        return; // stale (e.g. a background fetch completing late)
-    }
-    state.awaiting_playback = false;
-    state.videos_left_in_session = state.videos_left_in_session.saturating_sub(1);
-    state.videos_watched_total += 1;
-    metrics.sample_links(state.videos_watched_total, peers[node.index()].link_count());
-    let length = catalog
-        .video(video)
-        .map(|v| SimDuration::from_secs(u64::from(v.length_secs())))
-        .unwrap_or(SimDuration::from_secs(60));
-    engine.schedule_in(length, Ev::WatchEnd(node));
-}
-
-/// Applies the server's queued commands: control replies pay propagation
-/// delay; origin chunks serialize through the server's bounded pipe first.
-fn flush_server_commands(
-    now: SimTime,
-    outbox: &mut ServerOutbox,
-    engine: &mut Engine<Ev>,
-    latency: &LatencyModel,
-    server_queue: &mut ServerQueue,
-    metrics: &mut MetricsCollector,
-    catalog: &Arc<Catalog>,
-) {
-    for cmd in outbox.drain() {
-        match cmd {
-            ServerCommand::ToPeer { to, msg } => {
-                let arrival = now + latency.server_delay(to.as_u32());
-                engine.schedule_at(
-                    arrival,
-                    Ev::PeerMsg {
-                        to,
-                        from: PeerAddr::Server,
-                        msg,
-                    },
-                );
-            }
-            ServerCommand::ServeChunks {
-                to,
-                id,
-                video,
-                from_chunk,
-                kind,
-            } => {
-                let Ok(v) = catalog.video(video) else {
-                    continue;
-                };
-                let total = v.chunk_count();
-                let bits = v.chunk_size_bits();
-                let last = match kind {
-                    TransferKind::Prefetch => from_chunk,
-                    TransferKind::Playback => total.saturating_sub(1),
-                };
-                for chunk in from_chunk..=last.min(total.saturating_sub(1)) {
-                    let ready = server_queue.serve(now, bits);
-                    let arrival = ready + latency.server_delay(to.as_u32());
-                    engine.schedule_at(
-                        arrival,
-                        Ev::PeerMsg {
-                            to,
-                            from: PeerAddr::Server,
-                            msg: Message::ChunkData {
-                                id,
-                                video,
-                                chunk,
-                                bits,
-                                kind,
-                            },
-                        },
-                    );
-                }
-            }
-            ServerCommand::Report(report) => metrics.on_report(now, report),
-        }
     }
 }
 

@@ -1,0 +1,276 @@
+//! The shared session/workload state machine.
+
+use socialtube_model::{NodeId, VideoId};
+use socialtube_sim::{ChurnProcess, SimDuration, SimRng};
+use socialtube_trace::Trace;
+
+use crate::workload::{WorkloadConfig, WorkloadPlanner};
+
+/// Per-node session bookkeeping.
+#[derive(Debug)]
+struct NodeSession {
+    churn: ChurnProcess,
+    videos_left_in_session: u32,
+    videos_watched_total: u32,
+    current_video: Option<VideoId>,
+    awaiting_playback: bool,
+    /// The next session end is an abrupt failure, not a graceful logoff.
+    abrupt_next: bool,
+}
+
+/// What a node should do after a watch concludes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionStep {
+    /// Browse for the next video after this think time.
+    Continue(SimDuration),
+    /// The session's video budget is spent: log out now.
+    EndSession,
+}
+
+/// The workload state machine both platforms replay: login stagger, session
+/// churn, abrupt-departure draws and video selection.
+///
+/// Extracted from the sim driver's run loop so the TCP testbed drives the
+/// *identical* session logic; the platform only decides when transitions
+/// fire (virtual vs wall-clock time) and performs the side effects (calling
+/// into peers, scheduling). All workload randomness lives here, derived
+/// from the driver's root RNG under the stable stream labels `"workload"`,
+/// `"stagger"`, `"failures"` and indexed `"churn"` — the same labels the
+/// pre-harness driver used, keeping simulations bitwise reproducible.
+///
+/// Call discipline (per node): [`login_offset`](Self::login_offset) once at
+/// start-up, then for each session [`on_login`](Self::on_login) →
+/// ([`next_video`](Self::next_video) →
+/// [`on_playback_started`](Self::on_playback_started) →
+/// [`on_watch_end`](Self::on_watch_end))* → [`on_logout`](Self::on_logout).
+#[derive(Debug)]
+pub struct SessionDirector {
+    workload: WorkloadConfig,
+    planner: WorkloadPlanner,
+    fail_rng: SimRng,
+    stagger: Vec<SimDuration>,
+    nodes: Vec<NodeSession>,
+}
+
+impl SessionDirector {
+    /// Creates the director for `users` nodes, deriving all workload
+    /// randomness from `root`.
+    ///
+    /// Draw order is part of the reproducibility contract: one stagger
+    /// offset per node, in node order, from the `"stagger"` stream.
+    pub fn new(users: usize, workload: WorkloadConfig, root: &SimRng) -> Self {
+        use rand::Rng;
+        let planner = WorkloadPlanner::new(root.stream("workload"));
+        let fail_rng = root.stream("failures");
+        let mut stagger_rng = root.stream("stagger");
+        let mut nodes = Vec::with_capacity(users);
+        let mut stagger = Vec::with_capacity(users);
+        for u in 0..users {
+            // The first session starts at the stagger offset; the churn
+            // process only supplies the off periods *between* sessions,
+            // hence `n - 1`.
+            let churn = ChurnProcess::new(
+                root.stream_indexed("churn", u as u64),
+                workload.mean_off,
+                workload.sessions_per_node.saturating_sub(1),
+            );
+            nodes.push(NodeSession {
+                churn,
+                videos_left_in_session: 0,
+                videos_watched_total: 0,
+                current_video: None,
+                awaiting_playback: false,
+                abrupt_next: false,
+            });
+            stagger.push(SimDuration::from_micros(
+                stagger_rng.gen_range(0..=workload.login_stagger.as_micros().max(1)),
+            ));
+        }
+        Self {
+            workload,
+            planner,
+            fail_rng,
+            stagger,
+            nodes,
+        }
+    }
+
+    /// Number of nodes under direction.
+    pub fn users(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The workload parameters this director replays.
+    pub fn workload(&self) -> &WorkloadConfig {
+        &self.workload
+    }
+
+    /// The staggered first-login offset for `node`.
+    pub fn login_offset(&self, node: NodeId) -> SimDuration {
+        self.stagger[node.index()]
+    }
+
+    /// A session begins: resets the video budget and decides, up front and
+    /// deterministically, whether this session will end in an abrupt
+    /// failure.
+    pub fn on_login(&mut self, node: NodeId) {
+        let state = &mut self.nodes[node.index()];
+        state.videos_left_in_session = self.workload.videos_per_session;
+        state.abrupt_next = self.fail_rng.chance(self.workload.abrupt_departure_prob);
+    }
+
+    /// Whether the session that is now ending exits abruptly (no goodbyes
+    /// leave the machine — the platform must drop the logout outbox).
+    pub fn is_abrupt_exit(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].abrupt_next
+    }
+
+    /// A session ends. Returns the off period until the next login, or
+    /// `None` when the node's session budget is spent.
+    pub fn on_logout(&mut self, node: NodeId) -> Option<SimDuration> {
+        self.nodes[node.index()].churn.next_off_period()
+    }
+
+    /// Picks `node`'s next video (75/15/10 selection mix over the trace)
+    /// and marks the node as awaiting its playback.
+    pub fn next_video(&mut self, trace: &Trace, node: NodeId) -> Option<VideoId> {
+        let prev = self.nodes[node.index()].current_video;
+        let video = self.planner.next_video(trace, node, prev)?;
+        let state = &mut self.nodes[node.index()];
+        state.current_video = Some(video);
+        state.awaiting_playback = true;
+        Some(video)
+    }
+
+    /// Playback of `video` began at `node`. Returns the node's total
+    /// watched count (the Fig 18 x-axis) if this playback advances the
+    /// session, or `None` for stale starts (e.g. a background fetch
+    /// completing after the user moved on).
+    pub fn on_playback_started(&mut self, node: NodeId, video: VideoId) -> Option<u32> {
+        let state = &mut self.nodes[node.index()];
+        if !state.awaiting_playback || state.current_video != Some(video) {
+            return None;
+        }
+        state.awaiting_playback = false;
+        state.videos_left_in_session = state.videos_left_in_session.saturating_sub(1);
+        state.videos_watched_total += 1;
+        Some(state.videos_watched_total)
+    }
+
+    /// The current watch concluded (the video played to its end): continue
+    /// browsing or end the session.
+    pub fn on_watch_end(&self, node: NodeId) -> SessionStep {
+        if self.nodes[node.index()].videos_left_in_session > 0 {
+            SessionStep::Continue(self.workload.browse_delay)
+        } else {
+            SessionStep::EndSession
+        }
+    }
+
+    /// A watch never produced a playback (dead provider, lost message):
+    /// gives up on it and reports what to do next. Returns `None` if the
+    /// node was not awaiting a playback (the safety net raced a real
+    /// start). Used by the real-time testbed's watch timeout.
+    pub fn abandon_watch(&mut self, node: NodeId) -> Option<SessionStep> {
+        let state = &mut self.nodes[node.index()];
+        if !state.awaiting_playback {
+            return None;
+        }
+        state.awaiting_playback = false;
+        state.videos_left_in_session = state.videos_left_in_session.saturating_sub(1);
+        Some(self.on_watch_end(node))
+    }
+
+    /// Total videos `node` has watched across all sessions.
+    pub fn watched_total(&self, node: NodeId) -> u32 {
+        self.nodes[node.index()].videos_watched_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialtube_trace::{generate, TraceConfig};
+
+    fn director(users: usize, workload: WorkloadConfig) -> SessionDirector {
+        SessionDirector::new(users, workload, &SimRng::seed(42 ^ 0x50c1_a17b))
+    }
+
+    #[test]
+    fn stagger_offsets_stay_within_the_window() {
+        let workload = WorkloadConfig::default();
+        let d = director(50, workload.clone());
+        for u in 0..50 {
+            assert!(d.login_offset(NodeId::new(u)) <= workload.login_stagger);
+        }
+    }
+
+    #[test]
+    fn session_advances_through_its_video_budget() {
+        let trace = generate(&TraceConfig::tiny(), 7);
+        let mut workload = WorkloadConfig::default();
+        workload.videos_per_session = 2;
+        workload.sessions_per_node = 2;
+        let mut d = director(trace.graph.user_count(), workload);
+        let node = NodeId::new(0);
+        d.on_login(node);
+        for step in 0..2 {
+            let video = d.next_video(&trace, node).expect("video picked");
+            assert_eq!(
+                d.on_playback_started(node, video),
+                Some(step + 1),
+                "watched total advances"
+            );
+            if step == 0 {
+                assert!(matches!(d.on_watch_end(node), SessionStep::Continue(_)));
+            } else {
+                assert_eq!(d.on_watch_end(node), SessionStep::EndSession);
+            }
+        }
+        // One off period between the two sessions, then the budget is spent.
+        assert!(d.on_logout(node).is_some());
+        d.on_login(node);
+        assert!(d.on_logout(node).is_none());
+    }
+
+    #[test]
+    fn stale_playbacks_are_ignored() {
+        let trace = generate(&TraceConfig::tiny(), 7);
+        let mut d = director(trace.graph.user_count(), WorkloadConfig::default());
+        let node = NodeId::new(1);
+        d.on_login(node);
+        let video = d.next_video(&trace, node).expect("video picked");
+        assert!(d.on_playback_started(node, video).is_some());
+        // Same video again without a new request: stale.
+        assert!(d.on_playback_started(node, video).is_none());
+    }
+
+    #[test]
+    fn abandon_watch_consumes_the_video_budget() {
+        let trace = generate(&TraceConfig::tiny(), 7);
+        let mut workload = WorkloadConfig::default();
+        workload.videos_per_session = 1;
+        let mut d = director(trace.graph.user_count(), workload);
+        let node = NodeId::new(2);
+        d.on_login(node);
+        let _ = d.next_video(&trace, node).expect("video picked");
+        assert_eq!(d.abandon_watch(node), Some(SessionStep::EndSession));
+        assert_eq!(d.abandon_watch(node), None, "second abandon is a no-op");
+        assert_eq!(d.watched_total(node), 0, "abandoned watches don't count");
+    }
+
+    #[test]
+    fn abrupt_draws_follow_the_failure_probability() {
+        let mut workload = WorkloadConfig::default();
+        workload.abrupt_departure_prob = 1.0;
+        let mut d = director(4, workload);
+        d.on_login(NodeId::new(0));
+        assert!(d.is_abrupt_exit(NodeId::new(0)));
+
+        let mut workload = WorkloadConfig::default();
+        workload.abrupt_departure_prob = 0.0;
+        let mut d = director(4, workload);
+        d.on_login(NodeId::new(0));
+        assert!(!d.is_abrupt_exit(NodeId::new(0)));
+    }
+}

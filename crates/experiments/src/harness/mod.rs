@@ -1,0 +1,46 @@
+//! The shared protocol harness: one stack, two platforms.
+//!
+//! The paper evaluates SocialTube twice — under PeerSim (Section V) and on
+//! PlanetLab (Section VI) — and the sans-IO design exists so one protocol
+//! implementation serves both. This module is where that promise is kept.
+//! Everything the discrete-event driver and the TCP testbed used to
+//! re-implement separately lives here exactly once:
+//!
+//! * [`StackBuilder`] — the *single* `Protocol → peers/server` mapping,
+//!   with per-protocol configs and RNG stream derivation. Adding a fourth
+//!   protocol or changing a config default is a one-file change.
+//! * [`SessionDirector`] — the workload state machine: login stagger,
+//!   session churn, abrupt-departure draws and video selection. Both
+//!   platforms replay the identical session logic; only *when* its
+//!   transitions fire differs (virtual vs wall-clock time).
+//! * [`SimSubstrate`] — the simulator's implementation of the
+//!   [`PeerSubstrate`]/[`ServerSubstrate`] traits from
+//!   [`socialtube::harness`]: virtual latency, fluid upload links and the
+//!   server's bounded queue, scheduling onto any [`SimEvent`] engine. The
+//!   TCP counterpart lives in `socialtube-net`'s daemons (real sockets,
+//!   real-time pacing).
+//! * [`script`] — a deterministic scripted workload that drives the *same*
+//!   stack through both substrates and extracts the ordered report
+//!   sequence, used to assert cross-platform equivalence.
+//!
+//! ## Who owns what
+//!
+//! | concern | owner |
+//! |---|---|
+//! | time | platform (engine clock vs wall clock) |
+//! | RNG streams | `StackBuilder` (protocol) + `SessionDirector` (workload) |
+//! | delivery, latency, bandwidth | substrate implementation |
+//! | command → effect translation | `CommandInterpreter` (core) |
+//! | session/churn/video selection | `SessionDirector` |
+//!
+//! [`PeerSubstrate`]: socialtube::harness::PeerSubstrate
+//! [`ServerSubstrate`]: socialtube::harness::ServerSubstrate
+
+mod director;
+pub mod script;
+mod sim;
+mod stack;
+
+pub use director::{SessionDirector, SessionStep};
+pub use sim::{SimEvent, SimSubstrate};
+pub use stack::{ProtocolStack, StackBuilder};

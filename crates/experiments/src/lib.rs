@@ -6,6 +6,10 @@
 //!   sessions of ten videos, with Poisson off-times; each next video is
 //!   picked 75% from the same channel, 15% from the same category, 10%
 //!   from a different category.
+//! * [`harness`] — the shared protocol-harness layer: the single
+//!   `Protocol` → stack construction site ([`harness::StackBuilder`]), the
+//!   workload state machine ([`harness::SessionDirector`]) and the
+//!   simulator's substrate, all reused verbatim by the TCP testbed driver.
 //! * [`driver`] — the discrete-event simulation driver (PeerSim role):
 //!   binds any [`VodPeer`](socialtube::VodPeer)/[`VodServer`](socialtube::VodServer)
 //!   pair to the engine, modelling propagation latency, per-peer upload
@@ -58,6 +62,7 @@ pub mod campaign;
 pub mod configs;
 pub mod driver;
 pub mod figures;
+pub mod harness;
 pub mod metrics;
 pub mod net_driver;
 pub mod workload;
@@ -67,8 +72,8 @@ pub use campaign::{
 };
 pub use configs::{ExperimentOptions, NetworkOptions};
 #[allow(deprecated)]
-pub use driver::run_simulation;
-pub use driver::{run_simulation_on, RunSpec, SimOutcome};
+pub use driver::{run_simulation, run_simulation_on};
+pub use driver::{RunSpec, SimOutcome};
 pub use metrics::{MetricsCollector, MetricsSummary};
 pub use net_driver::{run_net, NetExperimentOptions, NetRun};
 pub use workload::{SelectionMix, WorkloadConfig, WorkloadPlanner};
@@ -108,10 +113,89 @@ impl Protocol {
             Protocol::PaVod => "PA-VoD",
         }
     }
+
+    /// Stable machine-readable key: what [`FromStr`](std::str::FromStr)
+    /// parses and CLIs/report files use.
+    pub fn key(self) -> &'static str {
+        match self {
+            Protocol::SocialTube => "socialtube",
+            Protocol::SocialTubeNoPrefetch => "socialtube-nopf",
+            Protocol::NetTube => "nettube",
+            Protocol::NetTubeNoPrefetch => "nettube-nopf",
+            Protocol::PaVod => "pavod",
+        }
+    }
 }
 
 impl std::fmt::Display for Protocol {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// Error parsing a [`Protocol`] from a string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseProtocolError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown protocol {:?} (expected one of: {})",
+            self.input,
+            Protocol::ALL.map(Protocol::key).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseProtocolError {}
+
+impl std::str::FromStr for Protocol {
+    type Err = ParseProtocolError;
+
+    /// Parses a [`key`](Protocol::key) (case-insensitive) or a figure
+    /// [`label`](Protocol::label), so both CLI arguments and report files
+    /// round-trip.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        Protocol::ALL
+            .into_iter()
+            .find(|p| p.key().eq_ignore_ascii_case(trimmed) || p.label() == trimmed)
+            .ok_or_else(|| ParseProtocolError {
+                input: trimmed.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_key_round_trips_through_from_str() {
+        for p in Protocol::ALL {
+            assert_eq!(p.key().parse::<Protocol>(), Ok(p), "key {}", p.key());
+            assert_eq!(
+                p.key().to_uppercase().parse::<Protocol>(),
+                Ok(p),
+                "keys parse case-insensitively"
+            );
+            assert_eq!(p.label().parse::<Protocol>(), Ok(p), "label {}", p.label());
+            assert_eq!(
+                p.to_string().parse::<Protocol>(),
+                Ok(p),
+                "Display round-trips"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_protocol_name_is_an_error() {
+        let err = "gnutella".parse::<Protocol>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("gnutella"), "{msg}");
+        assert!(msg.contains("socialtube-nopf"), "{msg}");
     }
 }

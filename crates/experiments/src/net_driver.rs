@@ -1,19 +1,25 @@
 //! Driving the TCP testbed (the PlanetLab experiment) with the paper's
 //! workload, and folding its events into the common metrics.
+//!
+//! The workload here is the *same* [`SessionDirector`] the simulation
+//! driver replays — sessions, churn, abrupt draws and video selection run
+//! through one state machine on both platforms; only the scheduling medium
+//! differs (a wall-clock action heap here, the virtual event queue there).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-use socialtube::{Report, SocialTubeConfig, SocialTubePeer, SocialTubeServer, VodPeer, VodServer};
-use socialtube_baselines::{NetTubeConfig, NetTubePeer, NetTubeServer, PaVodPeer, PaVodServer};
+use socialtube::Report;
 use socialtube_model::NodeId;
-use socialtube_net::testbed::{NetOutcome, Testbed, TestbedConfig};
+use socialtube_net::testbed::{Deployment, NetOutcome, TestbedConfig};
 use socialtube_sim::{SimDuration, SimRng};
-use socialtube_trace::{generate, Trace, TraceConfig};
+use socialtube_trace::{generate_shared, SharedTrace, TraceConfig};
 
+use crate::harness::{SessionDirector, SessionStep, StackBuilder};
 use crate::metrics::{MetricsCollector, MetricsSummary};
-use crate::workload::WorkloadPlanner;
+use crate::workload::{SelectionMix, WorkloadConfig};
 use crate::Protocol;
 
 /// Parameters of one TCP-testbed experiment.
@@ -104,96 +110,51 @@ pub struct NetRun {
     pub outcome: NetOutcome,
 }
 
-/// Builds the protocol peers/server for `protocol` over `trace`.
-fn build(
-    trace: &Trace,
-    protocol: Protocol,
-    seed: u64,
-) -> (Vec<Box<dyn VodPeer + Send>>, Box<dyn VodServer + Send>) {
-    let catalog = Arc::new(trace.catalog.clone());
-    let root = SimRng::seed(seed ^ 0x6e65_7462u64);
-    let users = trace.graph.user_count();
-    match protocol {
-        Protocol::SocialTube | Protocol::SocialTubeNoPrefetch => {
-            let config = SocialTubeConfig {
-                prefetch: protocol == Protocol::SocialTube,
-                // Compress protocol timeouts to testbed latencies.
-                search_phase_timeout: SimDuration::from_millis(400),
-                probe_interval: SimDuration::from_secs(2),
-                probe_timeout: SimDuration::from_millis(600),
-                chunk_timeout: SimDuration::from_secs(3),
-                prefetch_delay: SimDuration::from_millis(100),
-                ..SocialTubeConfig::default()
-            };
-            let peers = (0..users)
-                .map(|u| {
-                    let node = NodeId::new(u as u32);
-                    let subs = trace
-                        .graph
-                        .user(node)
-                        .map(|x| x.subscriptions().to_vec())
-                        .unwrap_or_default();
-                    Box::new(SocialTubePeer::new(
-                        node,
-                        Arc::clone(&catalog),
-                        subs,
-                        config.clone(),
-                    )) as Box<dyn VodPeer + Send>
-                })
-                .collect();
-            let server = Box::new(SocialTubeServer::new(
-                Arc::clone(&catalog),
-                root.stream("server"),
-            ));
-            (peers, server)
-        }
-        Protocol::NetTube | Protocol::NetTubeNoPrefetch => {
-            let config = NetTubeConfig {
-                prefetch: protocol == Protocol::NetTube,
-                search_timeout: SimDuration::from_millis(400),
-                probe_interval: SimDuration::from_secs(2),
-                probe_timeout: SimDuration::from_millis(600),
-                chunk_timeout: SimDuration::from_secs(3),
-                prefetch_delay: SimDuration::from_millis(100),
-                ..NetTubeConfig::default()
-            };
-            let peers = (0..users)
-                .map(|u| {
-                    Box::new(NetTubePeer::new(
-                        NodeId::new(u as u32),
-                        Arc::clone(&catalog),
-                        config.clone(),
-                        root.stream_indexed("nettube-peer", u as u64),
-                    )) as Box<dyn VodPeer + Send>
-                })
-                .collect();
-            let server = Box::new(NetTubeServer::new(
-                Arc::clone(&catalog),
-                root.stream("server"),
-            ));
-            (peers, server)
-        }
-        Protocol::PaVod => {
-            let config = socialtube_baselines::PaVodConfig {
-                chunk_timeout: SimDuration::from_secs(3),
-                lookup_timeout: SimDuration::from_millis(800),
-                ..socialtube_baselines::PaVodConfig::default()
-            };
-            let peers = (0..users)
-                .map(|u| {
-                    Box::new(PaVodPeer::new(
-                        NodeId::new(u as u32),
-                        Arc::clone(&catalog),
-                        config.clone(),
-                    )) as Box<dyn VodPeer + Send>
-                })
-                .collect();
-            let server = Box::new(PaVodServer::new(
-                Arc::clone(&catalog),
-                root.stream("server"),
-            ));
-            (peers, server)
-        }
+/// The session workload a [`TestbedConfig`] implies, expressed in the
+/// shared [`WorkloadConfig`] vocabulary (durations land on the protocol
+/// time axis 1:1 — one wall-clock second is one protocol second).
+fn testbed_workload(config: &TestbedConfig) -> WorkloadConfig {
+    let to_sim = |d: Duration| SimDuration::from_micros(d.as_micros() as u64);
+    WorkloadConfig {
+        sessions_per_node: config.sessions_per_node,
+        videos_per_session: config.videos_per_session,
+        mean_off: to_sim(config.off_time),
+        browse_delay: to_sim(config.browse_delay),
+        mix: SelectionMix::paper(),
+        login_stagger: to_sim(config.off_time),
+        abrupt_departure_prob: 0.0,
+    }
+}
+
+/// Wall-clock actions on the real-time heap: the testbed analogues of the
+/// sim driver's workload events.
+#[derive(Debug, PartialEq, Eq)]
+enum Action {
+    Login(usize),
+    NextVideo(usize),
+    /// The dwell after a playback ended (stands in for watching the video).
+    WatchEnd(usize),
+    Logout(usize),
+    /// Safety net if a playback never starts; the sequence number guards
+    /// against a stale timeout abandoning a newer watch.
+    WatchTimeout(usize, u64),
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Scheduled {
+    due: Instant,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.due.cmp(&other.due).then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -204,28 +165,154 @@ fn build(
 ///
 /// Panics if the deployment cannot bind localhost sockets.
 pub fn run_net(protocol: Protocol, options: &NetExperimentOptions) -> NetRun {
-    let trace = generate(&options.trace, options.seed);
-    run_net_on(&trace, protocol, options)
+    let shared = generate_shared(&options.trace, options.seed);
+    run_net_on(&shared, protocol, options)
 }
 
-/// Runs `protocol` over an existing trace on the TCP testbed.
+/// Runs `protocol` over an existing shared trace on the TCP testbed.
+///
+/// The stack comes from [`StackBuilder::for_testbed`] and the workload from
+/// the same [`SessionDirector`] the simulation replays; this function owns
+/// only the wall-clock action heap that fires the director's transitions.
 ///
 /// # Panics
 ///
 /// Panics if the deployment cannot bind localhost sockets.
-pub fn run_net_on(trace: &Trace, protocol: Protocol, options: &NetExperimentOptions) -> NetRun {
-    let (peers, server) = build(trace, protocol, options.seed);
-    let catalog = Arc::new(trace.catalog.clone());
-    let planner = Mutex::new(WorkloadPlanner::new(
-        SimRng::seed(options.seed).stream("net-workload"),
-    ));
-    let outcome = Testbed::run(catalog, peers, server, &options.testbed, |node, prev| {
-        planner.lock().next_video(trace, node, prev)
-    })
+pub fn run_net_on(
+    shared: &SharedTrace,
+    protocol: Protocol,
+    options: &NetExperimentOptions,
+) -> NetRun {
+    let root = SimRng::seed(options.seed ^ 0x6e65_7462u64);
+    let users = shared.graph.user_count();
+    let stack = StackBuilder::for_testbed(protocol, Arc::clone(shared.catalog()))
+        .build(shared.trace(), &root);
+    let mut director = SessionDirector::new(users, testbed_workload(&options.testbed), &root);
+    let deployment = Deployment::spawn(
+        Arc::clone(shared.catalog()),
+        stack.peers,
+        stack.server,
+        &options.testbed,
+    )
     .expect("testbed deployment binds localhost sockets");
 
+    let mut heap: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut schedule = |heap: &mut BinaryHeap<Reverse<Scheduled>>, due: Instant, action| {
+        seq += 1;
+        heap.push(Reverse(Scheduled { due, seq, action }));
+    };
+    let start = Instant::now();
+    for u in 0..users {
+        let node = NodeId::new(u as u32);
+        let offset = Duration::from_micros(director.login_offset(node).as_micros());
+        schedule(&mut heap, start + offset, Action::Login(u));
+    }
+
+    let mut watch_seq = vec![0u64; users];
+    let mut done = vec![false; users];
+    let mut remaining = users;
+    let mut events = Vec::new();
+    while remaining > 0 {
+        // Wait for either the next scheduled action or a report.
+        let now = Instant::now();
+        let timeout = heap
+            .peek()
+            .map(|Reverse(s)| s.due.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(50));
+        if let Some(event) = deployment.recv_timeout(timeout) {
+            if let Report::PlaybackStarted { node, video, .. } = event.report {
+                if node.index() < users && director.on_playback_started(node, video).is_some() {
+                    schedule(
+                        &mut heap,
+                        Instant::now() + options.testbed.watch_dwell,
+                        Action::WatchEnd(node.index()),
+                    );
+                }
+            }
+            events.push(event);
+            continue;
+        }
+        // Execute every due action.
+        let now = Instant::now();
+        while let Some(Reverse(s)) = heap.peek() {
+            if s.due > now {
+                break;
+            }
+            let Reverse(s) = heap.pop().expect("peeked entry");
+            let next_step = |step: SessionStep| match step {
+                SessionStep::Continue(browse) => (
+                    Duration::from_micros(browse.as_micros()),
+                    Action::NextVideo as fn(usize) -> Action,
+                ),
+                SessionStep::EndSession => (Duration::ZERO, Action::Logout as fn(usize) -> Action),
+            };
+            match s.action {
+                Action::Login(i) => {
+                    if done[i] {
+                        continue;
+                    }
+                    director.on_login(NodeId::new(i as u32));
+                    deployment.login(NodeId::new(i as u32));
+                    schedule(
+                        &mut heap,
+                        now + options.testbed.browse_delay,
+                        Action::NextVideo(i),
+                    );
+                }
+                Action::NextVideo(i) => {
+                    if done[i] {
+                        continue;
+                    }
+                    let node = NodeId::new(i as u32);
+                    let Some(video) = director.next_video(shared, node) else {
+                        continue;
+                    };
+                    watch_seq[i] += 1;
+                    deployment.watch(node, video);
+                    schedule(
+                        &mut heap,
+                        now + options.testbed.watch_timeout,
+                        Action::WatchTimeout(i, watch_seq[i]),
+                    );
+                }
+                Action::WatchEnd(i) => {
+                    if done[i] {
+                        continue;
+                    }
+                    let (delay, make) = next_step(director.on_watch_end(NodeId::new(i as u32)));
+                    schedule(&mut heap, now + delay, make(i));
+                }
+                Action::WatchTimeout(i, at_seq) => {
+                    // Playback never started: move on rather than hang.
+                    if done[i] || watch_seq[i] != at_seq {
+                        continue;
+                    }
+                    if let Some(step) = director.abandon_watch(NodeId::new(i as u32)) {
+                        let (delay, make) = next_step(step);
+                        schedule(&mut heap, now + delay, make(i));
+                    }
+                }
+                Action::Logout(i) => {
+                    if done[i] {
+                        continue;
+                    }
+                    let node = NodeId::new(i as u32);
+                    deployment.logout(node);
+                    if let Some(off) = director.on_logout(node) {
+                        let off = Duration::from_micros(off.as_micros());
+                        schedule(&mut heap, now + off, Action::Login(i));
+                    } else {
+                        done[i] = true;
+                        remaining -= 1;
+                    }
+                }
+            }
+        }
+    }
+    let outcome = deployment.finish(events, Duration::from_millis(300));
+
     // Reduce events to the common metrics.
-    let users = trace.graph.user_count();
     let mut collector = MetricsCollector::new(users);
     let mut watched = vec![0u32; users];
     for event in &outcome.events {

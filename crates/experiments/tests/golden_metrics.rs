@@ -1,0 +1,55 @@
+//! Pins the sim driver's output against golden files captured before the
+//! harness-layer refactor.
+//!
+//! The harness extraction (`StackBuilder`/`CommandInterpreter`/
+//! `SessionDirector`) promises bitwise-identical simulation results: same
+//! RNG stream labels, same event ordering, same metrics. These fixtures
+//! were rendered by the pre-refactor driver; any drift in the refactored
+//! stack shows up as a diff here.
+//!
+//! To re-pin after an *intentional* behaviour change, run with
+//! `UPDATE_GOLDEN=1` and commit the rewritten fixtures.
+
+use socialtube_experiments::{configs, Protocol, RunSpec};
+
+fn render(protocol: Protocol) -> String {
+    let out = RunSpec::new(protocol).options(configs::smoke_test()).run();
+    format!(
+        "{:#?}\nevents: {}\nsim_end_us: {}\nserver_bits_served: {}\nserver_tracked_peak: {}\n",
+        out.metrics,
+        out.events,
+        out.sim_end.as_micros(),
+        out.server_bits_served,
+        out.server_tracked_peak,
+    )
+}
+
+fn check(protocol: Protocol, fixture: &str) {
+    let path = format!("{}/tests/golden/{fixture}", env!("CARGO_MANIFEST_DIR"));
+    let got = render(protocol);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {path}: {e}"));
+    assert_eq!(
+        got, want,
+        "{protocol} diverged from the pre-refactor golden file {fixture}"
+    );
+}
+
+#[test]
+fn socialtube_matches_pre_refactor_golden() {
+    check(Protocol::SocialTube, "smoke_socialtube_seed42.txt");
+}
+
+#[test]
+fn nettube_matches_pre_refactor_golden() {
+    check(Protocol::NetTube, "smoke_nettube_seed42.txt");
+}
+
+#[test]
+fn pavod_matches_pre_refactor_golden() {
+    check(Protocol::PaVod, "smoke_pavod_seed42.txt");
+}

@@ -6,12 +6,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use socialtube::{
-    Command, Message, Outbox, PeerAddr, Report, ServerCommand, ServerOutbox, TimerKind,
-    TransferKind, VodPeer, VodServer,
-};
+use socialtube::harness::{CommandInterpreter, PeerSubstrate, ServerSubstrate};
+use socialtube::{Message, Outbox, PeerAddr, Report, ServerOutbox, TimerKind, VodPeer, VodServer};
 use socialtube_model::{Catalog, NodeId, VideoId};
-use socialtube_sim::LatencyModel;
+use socialtube_sim::{LatencyModel, SimDuration};
 
 use crate::clock::TestbedClock;
 use crate::delay::DelayQueue;
@@ -231,6 +229,41 @@ impl PeerDaemon {
     }
 }
 
+/// The TCP implementation of [`PeerSubstrate`]: control frames go straight
+/// to the connection pool; bulk frames are paced through the real-time
+/// upload link first; timers ride the daemon's delay queue.
+struct TcpPeerSubstrate<'a> {
+    pool: &'a ConnectionPool,
+    delays: &'a DelayQueue<PeerInput>,
+    upload: &'a mut RealTimeLink,
+}
+
+impl PeerSubstrate for TcpPeerSubstrate<'_> {
+    fn peer_control(&mut self, _from: NodeId, to: NodeId, msg: Message) {
+        self.pool.send(to.as_u32(), Frame::Msg(msg));
+    }
+
+    fn peer_bulk(&mut self, _from: NodeId, to: NodeId, bits: u64, msg: Message) {
+        let due = self.upload.transfer(Instant::now(), bits);
+        self.delays.schedule(
+            due,
+            PeerInput::Transmit {
+                to: to.as_u32(),
+                frame: Frame::Msg(msg),
+            },
+        );
+    }
+
+    fn to_server(&mut self, _from: NodeId, msg: Message) {
+        self.pool.send(SERVER_INDEX, Frame::Msg(msg));
+    }
+
+    fn arm_timer(&mut self, _node: NodeId, delay: SimDuration, kind: TimerKind) {
+        let due = Instant::now() + Duration::from_micros(delay.as_micros());
+        self.delays.schedule(due, PeerInput::Timer(kind));
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn peer_event_loop(
     mut peer: Box<dyn VodPeer + Send>,
@@ -260,43 +293,18 @@ fn peer_event_loop(
             }
             PeerInput::Shutdown => return,
         }
-        for cmd in out.drain() {
-            match cmd {
-                Command::ToPeer { to, msg } => {
-                    if msg.is_bulk() {
-                        // Pace bulk data through the upload link.
-                        let bits = match &msg {
-                            Message::ChunkData { bits, .. } => *bits,
-                            _ => 0,
-                        };
-                        let due = upload.transfer(Instant::now(), bits);
-                        delays.schedule(
-                            due,
-                            PeerInput::Transmit {
-                                to: to.as_u32(),
-                                frame: Frame::Msg(msg),
-                            },
-                        );
-                    } else {
-                        pool.send(to.as_u32(), Frame::Msg(msg));
-                    }
-                }
-                Command::ToServer { msg } => {
-                    pool.send(SERVER_INDEX, Frame::Msg(msg));
-                }
-                Command::Timer { delay, kind } => {
-                    let due = Instant::now() + Duration::from_micros(delay.as_micros());
-                    delays.schedule(due, PeerInput::Timer(kind));
-                }
-                Command::Report(report) => {
-                    let _ = events.send(NetEvent {
-                        time: clock.now(),
-                        report,
-                        links: peer.link_count(),
-                    });
-                }
-            }
-        }
+        let mut sub = TcpPeerSubstrate {
+            pool: &pool,
+            delays: &delays,
+            upload: &mut upload,
+        };
+        CommandInterpreter::flush_peer(peer.node(), &mut out, &mut sub, |_, report| {
+            let _ = events.send(NetEvent {
+                time: clock.now(),
+                report,
+                links: peer.link_count(),
+            });
+        });
     }
 }
 
@@ -432,6 +440,32 @@ impl ServerDaemon {
     }
 }
 
+/// The TCP implementation of [`ServerSubstrate`]: control frames go to the
+/// pool; every origin chunk is serialized through the server's bounded
+/// real-time pipe before transmission.
+struct TcpServerSubstrate<'a> {
+    pool: &'a ConnectionPool,
+    delays: &'a DelayQueue<ServerInput>,
+    pipe: &'a mut RealTimeLink,
+}
+
+impl ServerSubstrate for TcpServerSubstrate<'_> {
+    fn server_control(&mut self, to: NodeId, msg: Message) {
+        self.pool.send(to.as_u32(), Frame::Msg(msg));
+    }
+
+    fn server_chunk(&mut self, to: NodeId, bits: u64, msg: Message) {
+        let due = self.pipe.transfer(Instant::now(), bits);
+        self.delays.schedule(
+            due,
+            ServerInput::Transmit {
+                to: to.as_u32(),
+                frame: Frame::Msg(msg),
+            },
+        );
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn server_event_loop(
     mut server: Box<dyn VodServer + Send>,
@@ -444,6 +478,7 @@ fn server_event_loop(
     events: Sender<NetEvent>,
 ) {
     let pool = ConnectionPool::new(SERVER_INDEX, registry);
+    let interpreter = CommandInterpreter::new(catalog);
     let mut pipe = RealTimeLink::new(bandwidth_bps);
     let mut out = ServerOutbox::new();
     for input in inputs {
@@ -457,55 +492,18 @@ fn server_event_loop(
             }
             ServerInput::Shutdown => return,
         }
-        for cmd in out.drain() {
-            match cmd {
-                ServerCommand::ToPeer { to, msg } => {
-                    pool.send(to.as_u32(), Frame::Msg(msg));
-                }
-                ServerCommand::ServeChunks {
-                    to,
-                    id,
-                    video,
-                    from_chunk,
-                    kind,
-                } => {
-                    let Ok(v) = catalog.video(video) else {
-                        continue;
-                    };
-                    let total = v.chunk_count();
-                    let bits = v.chunk_size_bits();
-                    let last = match kind {
-                        TransferKind::Prefetch => from_chunk,
-                        TransferKind::Playback => total.saturating_sub(1),
-                    };
-                    for chunk in from_chunk..=last.min(total.saturating_sub(1)) {
-                        // Every origin chunk is serialized through the
-                        // server's bounded pipe.
-                        let due = pipe.transfer(Instant::now(), bits);
-                        delays.schedule(
-                            due,
-                            ServerInput::Transmit {
-                                to: to.as_u32(),
-                                frame: Frame::Msg(Message::ChunkData {
-                                    id,
-                                    video,
-                                    chunk,
-                                    bits,
-                                    kind,
-                                }),
-                            },
-                        );
-                    }
-                }
-                ServerCommand::Report(report) => {
-                    let _ = events.send(NetEvent {
-                        time: clock.now(),
-                        report,
-                        links: 0,
-                    });
-                }
-            }
-        }
+        let mut sub = TcpServerSubstrate {
+            pool: &pool,
+            delays: &delays,
+            pipe: &mut pipe,
+        };
+        interpreter.flush_server(&mut out, &mut sub, |_, report| {
+            let _ = events.send(NetEvent {
+                time: clock.now(),
+                report,
+                links: 0,
+            });
+        });
     }
 }
 

@@ -14,10 +14,12 @@
 //!   latency injection and bandwidth pacing;
 //! * [`transport`] — framed connections and an outgoing-connection cache;
 //! * [`daemon`] — one OS-thread-backed daemon per peer plus the
-//!   tracker/origin server daemon (bounded upload pacing);
-//! * [`testbed`] — spawns a whole deployment in-process, drives a viewing
-//!   workload in real time, and collects the protocol reports the metrics
-//!   pipeline consumes.
+//!   tracker/origin server daemon; each daemon drains its outbox through
+//!   the shared [`CommandInterpreter`](socialtube::harness::CommandInterpreter)
+//!   over a TCP substrate (connection pool + real-time pacing links);
+//! * [`testbed`] — [`Deployment`]: spawns a whole deployment in-process and
+//!   surfaces protocol reports; the workload loop that drives it lives with
+//!   the caller (the shared `SessionDirector` in `socialtube-experiments`).
 //!
 //! Real sockets keep what the paper went to PlanetLab for — actual
 //! transmission and connection failures, head-of-line queueing, racing
@@ -33,5 +35,5 @@ pub mod testbed;
 pub mod transport;
 pub mod wire;
 
-pub use testbed::{NetOutcome, Testbed, TestbedConfig};
+pub use testbed::{Deployment, NetOutcome, TestbedConfig};
 pub use wire::{decode_frame, encode_frame, Frame, WireError};

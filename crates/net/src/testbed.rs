@@ -1,12 +1,18 @@
 //! In-process testbed: a full deployment over real sockets, driven in real
 //! time — the PlanetLab experiment.
+//!
+//! [`Deployment`] owns only the platform half of an experiment: it spawns
+//! one daemon per peer plus the server daemon, wires them through the
+//! localhost transport with injected latency, and hands protocol reports
+//! back as [`NetEvent`]s. *What* the nodes do — sessions, churn, video
+//! selection — is the caller's workload loop (the shared `SessionDirector`
+//! in `socialtube-experiments` for real runs, a fixed script for the
+//! cross-platform equivalence tests).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::unbounded;
+use crossbeam::channel::{unbounded, Receiver};
 use socialtube::{ChunkSource, Report, VodPeer, VodServer};
 use socialtube_model::{Catalog, NodeId, VideoId};
 use socialtube_sim::{LatencyModel, SimDuration, SimRng};
@@ -124,70 +130,34 @@ impl NetOutcome {
     }
 }
 
-/// Driver actions scheduled on the real-time heap.
-#[derive(Debug, PartialEq, Eq)]
-enum Action {
-    Login(usize),
-    NextVideo(usize),
-    Logout(usize),
-    /// Safety net if a playback never starts.
-    WatchTimeout(usize, u64),
-}
-
+/// A running testbed deployment: one daemon per peer plus the server, all
+/// live on localhost sockets.
+///
+/// The deployment is pure platform — it delivers user actions to daemons
+/// and surfaces protocol reports; the caller owns the workload loop. Tear
+/// down with [`finish`](Deployment::finish), which drains straggling
+/// reports and joins every thread.
 #[derive(Debug)]
-struct Scheduled {
-    due: Instant,
-    seq: u64,
-    action: Action,
+pub struct Deployment {
+    daemons: Vec<PeerDaemon>,
+    server: ServerDaemon,
+    events: Receiver<NetEvent>,
+    started: Instant,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.due.cmp(&other.due).then(self.seq.cmp(&other.seq))
-    }
-}
-
-struct NodeDrive {
-    sessions_left: u32,
-    videos_left: u32,
-    current_video: Option<VideoId>,
-    awaiting: bool,
-    watch_seq: u64,
-    done: bool,
-}
-
-/// The testbed: deploys daemons, drives the workload, collects events.
-#[derive(Debug)]
-pub struct Testbed;
-
-impl Testbed {
-    /// Runs a full deployment.
-    ///
-    /// `peers` are the protocol state machines to deploy (node ids must be
-    /// dense `0..n`); `server` is the matching tracker; `pick_video`
-    /// chooses each node's next video given its previous one.
+impl Deployment {
+    /// Deploys `peers` (node ids must be dense `0..n`) and `server` as
+    /// socket daemons with latency and bandwidth from `config`.
     ///
     /// # Errors
     ///
     /// Returns an error if sockets cannot be bound.
-    pub fn run(
+    pub fn spawn(
         catalog: Arc<Catalog>,
         peers: Vec<Box<dyn VodPeer + Send>>,
         server: Box<dyn VodServer + Send>,
         config: &TestbedConfig,
-        mut pick_video: impl FnMut(NodeId, Option<VideoId>) -> Option<VideoId>,
-    ) -> std::io::Result<NetOutcome> {
+    ) -> std::io::Result<Deployment> {
         let started = Instant::now();
         let clock = TestbedClock::start();
         let registry = Arc::new(Registry::new());
@@ -221,148 +191,66 @@ impl Testbed {
         }
         drop(events_tx);
 
-        // Drive the workload in real time.
-        let n = daemons.len();
-        let mut nodes: Vec<NodeDrive> = (0..n)
-            .map(|_| NodeDrive {
-                sessions_left: config.sessions_per_node,
-                videos_left: 0,
-                current_video: None,
-                awaiting: false,
-                watch_seq: 0,
-                done: false,
-            })
-            .collect();
-        let mut heap: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let mut schedule = |heap: &mut BinaryHeap<Reverse<Scheduled>>, due: Instant, action| {
-            seq += 1;
-            heap.push(Reverse(Scheduled { due, seq, action }));
-        };
-        let stagger = config.off_time.as_millis().max(1) as u64;
-        let mut stagger_rng = SimRng::seed(config.seed ^ 0xbed);
-        for i in 0..n {
-            use rand::Rng;
-            let jitter = Duration::from_millis(stagger_rng.gen_range(0..=stagger));
-            schedule(&mut heap, Instant::now() + jitter, Action::Login(i));
-        }
+        Ok(Deployment {
+            daemons,
+            server: server_daemon,
+            events: events_rx,
+            started,
+        })
+    }
 
-        let mut events = Vec::new();
-        let mut remaining = n;
-        while remaining > 0 {
-            // Wait for either the next scheduled action or a report.
-            let now = Instant::now();
-            let timeout = heap
-                .peek()
-                .map(|Reverse(s)| s.due.saturating_duration_since(now))
-                .unwrap_or(Duration::from_millis(50));
-            match events_rx.recv_timeout(timeout) {
-                Ok(event) => {
-                    if let Report::PlaybackStarted { node, video, .. } = event.report {
-                        let i = node.index();
-                        if i < n && nodes[i].awaiting && nodes[i].current_video == Some(video) {
-                            nodes[i].awaiting = false;
-                            nodes[i].videos_left = nodes[i].videos_left.saturating_sub(1);
-                            let next = if nodes[i].videos_left > 0 {
-                                Action::NextVideo(i)
-                            } else {
-                                Action::Logout(i)
-                            };
-                            schedule(&mut heap, Instant::now() + config.watch_dwell, next);
-                        }
-                    }
-                    events.push(event);
-                    continue;
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
-            }
-            // Execute every due action.
-            let now = Instant::now();
-            while let Some(Reverse(s)) = heap.peek() {
-                if s.due > now {
-                    break;
-                }
-                let Reverse(s) = heap.pop().expect("peeked entry");
-                match s.action {
-                    Action::Login(i) => {
-                        if nodes[i].done {
-                            continue;
-                        }
-                        nodes[i].videos_left = config.videos_per_session;
-                        daemons[i].login();
-                        schedule(&mut heap, now + config.browse_delay, Action::NextVideo(i));
-                    }
-                    Action::NextVideo(i) => {
-                        if nodes[i].done {
-                            continue;
-                        }
-                        let prev = nodes[i].current_video;
-                        let Some(video) = pick_video(NodeId::new(i as u32), prev) else {
-                            continue;
-                        };
-                        nodes[i].current_video = Some(video);
-                        nodes[i].awaiting = true;
-                        nodes[i].watch_seq += 1;
-                        let watch_seq = nodes[i].watch_seq;
-                        daemons[i].watch(video);
-                        schedule(
-                            &mut heap,
-                            now + config.watch_timeout,
-                            Action::WatchTimeout(i, watch_seq),
-                        );
-                    }
-                    Action::WatchTimeout(i, watch_seq) => {
-                        // Playback never started: move on rather than hang.
-                        if !nodes[i].done && nodes[i].awaiting && nodes[i].watch_seq == watch_seq {
-                            nodes[i].awaiting = false;
-                            nodes[i].videos_left = nodes[i].videos_left.saturating_sub(1);
-                            let next = if nodes[i].videos_left > 0 {
-                                Action::NextVideo(i)
-                            } else {
-                                Action::Logout(i)
-                            };
-                            schedule(&mut heap, now, next);
-                        }
-                    }
-                    Action::Logout(i) => {
-                        if nodes[i].done {
-                            continue;
-                        }
-                        daemons[i].logout();
-                        nodes[i].sessions_left = nodes[i].sessions_left.saturating_sub(1);
-                        if nodes[i].sessions_left > 0 {
-                            schedule(&mut heap, now + config.off_time, Action::Login(i));
-                        } else {
-                            nodes[i].done = true;
-                            remaining -= 1;
-                        }
-                    }
-                }
-            }
-        }
+    /// Number of peer daemons deployed.
+    pub fn peers(&self) -> usize {
+        self.daemons.len()
+    }
 
-        // Drain any straggling reports, then tear down.
-        let drain_deadline = Instant::now() + Duration::from_millis(300);
-        while let Ok(event) =
-            events_rx.recv_timeout(drain_deadline.saturating_duration_since(Instant::now()))
+    /// Starts a session at `node`.
+    pub fn login(&self, node: NodeId) {
+        self.daemons[node.index()].login();
+    }
+
+    /// Ends `node`'s session.
+    pub fn logout(&self, node: NodeId) {
+        self.daemons[node.index()].logout();
+    }
+
+    /// The user at `node` selects `video`.
+    pub fn watch(&self, node: NodeId, video: VideoId) {
+        self.daemons[node.index()].watch(video);
+    }
+
+    /// Waits up to `timeout` for the next protocol report; `None` on
+    /// timeout (or if every daemon already exited).
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<NetEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// Drains straggling reports for `settle`, tears every daemon down, and
+    /// packages the outcome. `events` is whatever the caller's workload
+    /// loop collected so far.
+    pub fn finish(self, mut events: Vec<NetEvent>, settle: Duration) -> NetOutcome {
+        let drain_deadline = Instant::now() + settle;
+        while let Ok(event) = self
+            .events
+            .recv_timeout(drain_deadline.saturating_duration_since(Instant::now()))
         {
             events.push(event);
         }
-        for d in &daemons {
+        for d in &self.daemons {
             d.shutdown();
         }
-        server_daemon.shutdown();
-        for d in daemons {
+        self.server.shutdown();
+        let peers = self.daemons.len();
+        for d in self.daemons {
             d.join();
         }
-        server_daemon.join();
+        self.server.join();
 
-        Ok(NetOutcome {
+        NetOutcome {
             events,
-            wall_time: started.elapsed(),
-            peers: n,
-        })
+            wall_time: self.started.elapsed(),
+            peers,
+        }
     }
 }
 
@@ -385,6 +273,8 @@ mod tests {
         (Arc::new(b.build()), vids)
     }
 
+    /// Drives a five-peer deployment through a scripted two-video session
+    /// per peer, waiting for each playback before moving on.
     #[test]
     fn five_peer_socialtube_deployment_completes() {
         let (catalog, vids) = tiny_catalog();
@@ -400,18 +290,48 @@ mod tests {
             })
             .collect();
         let server = Box::new(SocialTubeServer::new(Arc::clone(&catalog), SimRng::seed(7)));
-        let config = TestbedConfig {
-            sessions_per_node: 1,
-            videos_per_session: 2,
-            ..TestbedConfig::default()
-        };
-        let mut rng = SimRng::seed(1);
-        let outcome = Testbed::run(catalog, peers, server, &config, |_, _| {
-            use rand::Rng;
-            Some(vids[rng.gen_range(0..vids.len())])
-        })
-        .expect("testbed runs");
-        // 5 peers × 1 session × 2 videos = 10 playbacks expected.
+        let config = TestbedConfig::default();
+        let deployment =
+            Deployment::spawn(Arc::clone(&catalog), peers, server, &config).expect("spawn");
+
+        let mut events = Vec::new();
+        for i in 0..5u32 {
+            deployment.login(NodeId::new(i));
+        }
+        // Two watches per peer, round-robin, each bounded by the watch
+        // timeout so a lost playback cannot hang the test.
+        for round in 0..2usize {
+            for i in 0..5usize {
+                let node = NodeId::new(i as u32);
+                let video = vids[(round * 5 + i) % vids.len()];
+                deployment.watch(node, video);
+                let deadline = Instant::now() + config.watch_timeout;
+                loop {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    let Some(event) = deployment.recv_timeout(left) else {
+                        break;
+                    };
+                    let started = matches!(
+                        event.report,
+                        Report::PlaybackStarted { node: n, video: v, .. }
+                            if n == node && v == video
+                    );
+                    events.push(event);
+                    if started {
+                        break;
+                    }
+                }
+            }
+        }
+        for i in 0..5u32 {
+            deployment.logout(NodeId::new(i));
+        }
+        let outcome = deployment.finish(events, Duration::from_millis(300));
+
+        // 5 peers × 2 videos = 10 playbacks expected.
         assert!(
             outcome.playbacks() >= 8,
             "only {} playbacks (events: {})",
