@@ -244,7 +244,12 @@ impl NetTubePeer {
         if search.asked_server {
             if search.kind == TransferKind::Prefetch {
                 // Opportunistic prefetches never burden the server.
+                let video = search.video;
                 self.searches.remove(&id);
+                out.report(Report::PrefetchAbandoned {
+                    node: self.node,
+                    video,
+                });
                 return;
             }
             // Contacts exhausted (or past the initial join): the server
@@ -268,7 +273,12 @@ impl NetTubePeer {
         if search.kind == TransferKind::Prefetch {
             // Prefetches never escalate to the server in NetTube — they are
             // opportunistic grabs from neighbors; just drop the search.
+            let video = search.video;
             self.searches.remove(&id);
+            out.report(Report::PrefetchAbandoned {
+                node: self.node,
+                video,
+            });
             return;
         }
         self.joined_session = true;
@@ -459,11 +469,16 @@ impl VodPeer for NetTubePeer {
                             video,
                             provider: self.node,
                             provider_channel: None,
+                            ttl,
                         },
                     );
                     return;
                 }
                 if ttl == 0 {
+                    out.report(Report::TtlExpired {
+                        node: self.node,
+                        video,
+                    });
                     return;
                 }
                 let sender = match from {
@@ -491,6 +506,7 @@ impl VodPeer for NetTubePeer {
                 id,
                 video,
                 provider,
+                ttl,
                 ..
             } => {
                 let Some(search) = self.searches.get_mut(&id) else {
@@ -500,6 +516,14 @@ impl VodPeer for NetTubePeer {
                     return;
                 }
                 search.provider = Some(provider);
+                // NetTube has a single flood tier; report it under the
+                // channel phase with the hop count the TTL encodes.
+                out.report(Report::SearchResolved {
+                    node: self.node,
+                    video,
+                    phase: SearchPhase::Channel,
+                    hops: self.config.ttl.saturating_sub(ttl).saturating_add(1),
+                });
                 let from_chunk = search.from_chunk;
                 let kind = search.kind;
                 out.to_peer(
@@ -743,6 +767,10 @@ impl VodPeer for NetTubePeer {
             TimerKind::ProbeDeadline { neighbor, nonce } => {
                 if self.pending_probes.remove(&nonce).is_some() {
                     self.remove_node_links(neighbor);
+                    out.report(Report::NeighborLost {
+                        node: self.node,
+                        neighbor,
+                    });
                 }
             }
 

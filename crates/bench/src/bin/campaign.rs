@@ -4,16 +4,26 @@
 //! ```text
 //! cargo run --release -p socialtube-bench --bin campaign -- \
 //!     [--scale demo|figure|full] [--seeds N] [--seed BASE] [--workers N] \
-//!     [--protocols socialtube,pavod,...] [--out PATH]
+//!     [--protocols socialtube,pavod,...] [--out PATH] \
+//!     [--metrics-out PATH] [--trace-out PATH]
 //! ```
 //!
 //! Runs the protocols × seeds grid twice — once on a single thread, once on
-//! the worker pool — verifies the two reports agree bitwise per cell, and
-//! writes `BENCH_campaign.json` with wall-clock, speedup and events/sec.
+//! the worker pool with the metrics recorder attached — verifies the two
+//! reports agree bitwise per cell (which also proves recording never
+//! perturbs a run), and writes `BENCH_campaign.json` with wall-clock,
+//! speedup, events/sec, and each protocol's resolution split and search-hop
+//! distribution. `--metrics-out` dumps the full merged per-protocol
+//! snapshots; `--trace-out` re-runs each protocol once at the base seed
+//! with timeline capture and writes a Chrome-trace file (one process per
+//! protocol) loadable in Perfetto or `chrome://tracing`.
 
 use std::io::Write;
 
-use socialtube_experiments::{configs, Campaign, CampaignReport, ExperimentOptions, Protocol};
+use socialtube_experiments::{
+    configs, Campaign, CampaignReport, ExperimentOptions, Protocol, RecorderConfig, RunSpec,
+};
+use socialtube_obs::chrome_trace;
 
 fn main() {
     let mut scale = "demo".to_string();
@@ -22,6 +32,8 @@ fn main() {
     let mut workers: usize = socialtube_experiments::campaign::default_workers();
     let mut protocols: Vec<Protocol> = Protocol::ALL.to_vec();
     let mut out = "BENCH_campaign.json".to_string();
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -49,6 +61,8 @@ fn main() {
                     .collect();
             }
             "--out" => out = value("--out"),
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")),
+            "--trace-out" => trace_out = Some(value("--trace-out")),
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -56,20 +70,7 @@ fn main() {
         }
     }
 
-    let mut options: ExperimentOptions = match scale.as_str() {
-        "demo" => {
-            let mut o = configs::smoke_test_long();
-            o.trace.users = 300;
-            o.network.server_bandwidth_bps = 30_000_000;
-            o
-        }
-        "figure" => configs::figure_scale(),
-        "full" => configs::table1(),
-        other => {
-            eprintln!("unknown scale {other} (use demo|figure|full)");
-            std::process::exit(2);
-        }
-    };
+    let mut options: ExperimentOptions = options_for_scale(&scale);
     options.seed = base_seed;
 
     let campaign = Campaign::new(options)
@@ -91,8 +92,14 @@ fn main() {
         serial.events_per_sec()
     );
 
-    println!("# parallel ({workers} workers) ...");
-    let parallel = campaign.run();
+    // The parallel pass records metrics; the bitwise check against the
+    // unrecorded serial baseline doubles as the proof that instrumentation
+    // never perturbs a run.
+    println!("# parallel ({workers} workers, metrics recorder on) ...");
+    let parallel = campaign
+        .clone()
+        .recorder(RecorderConfig::metrics_only())
+        .run();
     println!(
         "#   {:.2}s wall-clock ({:.2}s traces), {:.0} events/s",
         parallel.wall_clock.as_secs_f64(),
@@ -104,10 +111,104 @@ fn main() {
     let speedup = serial.wall_clock.as_secs_f64() / parallel.wall_clock.as_secs_f64().max(1e-9);
     println!("# bitwise identical per-cell metrics; speedup ×{speedup:.2}");
 
+    for &protocol in &protocols {
+        if let Some((ch, cat, srv)) = parallel
+            .merged_snapshot(protocol)
+            .and_then(|s| s.resolution_split())
+        {
+            println!(
+                "#   {protocol}: resolution split {:.0}% channel / {:.0}% category / {:.0}% server",
+                ch * 100.0,
+                cat * 100.0,
+                srv * 100.0
+            );
+        }
+    }
+
     let json = render_json(&scale, seeds, base_seed, &serial, &parallel, speedup);
     let mut file = std::fs::File::create(&out).expect("create report file");
     file.write_all(json.as_bytes()).expect("write report");
     println!("# report written to {out}");
+
+    if let Some(path) = metrics_out {
+        let json = render_metrics(&parallel, &protocols);
+        std::fs::write(&path, json).expect("write metrics file");
+        println!("# merged per-protocol metrics written to {path}");
+    }
+
+    if let Some(path) = trace_out {
+        let json = render_trace(&campaign_options(&scale, base_seed), &protocols);
+        std::fs::write(&path, json).expect("write trace file");
+        println!("# chrome trace written to {path}");
+    }
+}
+
+/// Rebuilds the scale's options for the timeline pass (one run per
+/// protocol at the base seed).
+fn campaign_options(scale: &str, base_seed: u64) -> ExperimentOptions {
+    let mut options = options_for_scale(scale);
+    options.seed = base_seed;
+    options
+}
+
+/// The experiment options behind each `--scale` name.
+fn options_for_scale(scale: &str) -> ExperimentOptions {
+    match scale {
+        "demo" => {
+            let mut o = configs::smoke_test_long();
+            o.trace.users = 300;
+            o.network.server_bandwidth_bps = 30_000_000;
+            o
+        }
+        "figure" => configs::figure_scale(),
+        "full" => configs::table1(),
+        other => {
+            eprintln!("unknown scale {other} (use demo|figure|full)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Merged per-protocol snapshots as one JSON object keyed by protocol.
+fn render_metrics(report: &CampaignReport, protocols: &[Protocol]) -> String {
+    let mut s = String::from("{\n");
+    let mut first = true;
+    for &protocol in protocols {
+        let Some(snap) = report.merged_snapshot(protocol) else {
+            continue;
+        };
+        if !first {
+            s.push_str(",\n");
+        }
+        first = false;
+        let body = snap.to_json(2).lines().collect::<Vec<_>>().join("\n  ");
+        s.push_str(&format!("  \"{}\": {body}", protocol.key()));
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+/// One full-recording run per protocol at the base seed, exported as a
+/// multi-process Chrome trace (one pid per protocol).
+fn render_trace(options: &ExperimentOptions, protocols: &[Protocol]) -> String {
+    let shared = socialtube_trace::generate_shared(&options.trace, options.seed);
+    let mut timelines = Vec::new();
+    for &protocol in protocols {
+        let outcome = RunSpec::new(protocol)
+            .options(options.clone())
+            .trace(shared.clone())
+            .with_recorder(RecorderConfig::full())
+            .run();
+        let timeline = outcome
+            .recording
+            .expect("recording requested")
+            .timeline
+            .expect("timeline requested");
+        timelines.push((protocol.key(), timeline));
+    }
+    let parts: Vec<(&str, &socialtube_obs::Timeline)> =
+        timelines.iter().map(|(k, t)| (*k, t)).collect();
+    chrome_trace(&parts)
 }
 
 /// Panics unless both reports carry identical per-cell results.
@@ -125,6 +226,49 @@ fn verify_bitwise(serial: &CampaignReport, parallel: &CampaignReport) {
     }
 }
 
+/// The recorder-derived fields of one per-protocol report entry:
+/// resolution split, search-hop distribution and cache/prefetch hit rates.
+/// Empty when the protocol's cells carry no recording.
+fn render_snapshot_fields(report: &CampaignReport, protocol: Protocol) -> String {
+    let Some(snap) = report.merged_snapshot(protocol) else {
+        return String::new();
+    };
+    let mut s = String::new();
+    if let Some((ch, cat, srv)) = snap.resolution_split() {
+        s.push_str(&format!(
+            ", \"resolution_split\": {{\"channel\": {ch:.4}, \"category\": {cat:.4}, \"server\": {srv:.4}}}"
+        ));
+    }
+    if let Some(hops) = snap.histogram("search_hops") {
+        let buckets = hops
+            .buckets
+            .iter()
+            .map(|(lo, c)| format!("[{lo}, {c}]"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.push_str(&format!(
+            ", \"search_hops\": {{\"count\": {}, \"mean\": {:.3}, \"max\": {}, \"buckets\": [{buckets}]}}",
+            hops.count,
+            hops.mean(),
+            hops.max,
+        ));
+    }
+    let rate = |hit: u64, miss: u64| {
+        let total = hit + miss;
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64
+        }
+    };
+    s.push_str(&format!(
+        ", \"cache_hit_rate\": {:.4}, \"prefetch_hit_rate\": {:.4}",
+        rate(snap.counter("cache_hit"), snap.counter("cache_miss")),
+        rate(snap.counter("prefetch_hit"), snap.counter("prefetch_miss")),
+    ));
+    s
+}
+
 /// Hand-rendered JSON (the workspace's serde stub does not serialize).
 fn render_json(
     scale: &str,
@@ -140,7 +284,7 @@ fn render_json(
             protocols.push_str(",\n");
         }
         protocols.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"startup_delay_ms\": {{\"mean\": {:.3}, \"min\": {:.3}, \"max\": {:.3}, \"ci95\": {:.3}}}, \"peer_bandwidth\": {{\"mean\": {:.4}, \"min\": {:.4}, \"max\": {:.4}, \"ci95\": {:.4}}}}}",
+            "    {{\"protocol\": \"{}\", \"startup_delay_ms\": {{\"mean\": {:.3}, \"min\": {:.3}, \"max\": {:.3}, \"ci95\": {:.3}}}, \"peer_bandwidth\": {{\"mean\": {:.4}, \"min\": {:.4}, \"max\": {:.4}, \"ci95\": {:.4}}}{}}}",
             summary.protocol,
             summary.startup_delay_ms.mean,
             summary.startup_delay_ms.min,
@@ -150,6 +294,7 @@ fn render_json(
             summary.peer_bandwidth.min,
             summary.peer_bandwidth.max,
             summary.peer_bandwidth.ci95,
+            render_snapshot_fields(parallel, summary.protocol),
         ));
     }
     format!(

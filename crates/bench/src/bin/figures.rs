@@ -1,7 +1,8 @@
 //! Regenerates every table and figure of the SocialTube paper.
 //!
 //! ```text
-//! cargo run --release -p socialtube-bench --bin figures -- [TARGETS] [--scale demo|figure|full]
+//! cargo run --release -p socialtube-bench --bin figures -- [TARGETS] \
+//!     [--scale demo|figure|full] [--metrics-out PATH] [--trace-out PATH]
 //! ```
 //!
 //! Targets: `all` (default), `table1`, `fig2`..`fig13`, `fig15`,
@@ -10,6 +11,11 @@
 //!
 //! CSV series land in `target/figures/`; summaries print to stdout with the
 //! paper's qualitative expectation next to the measured value.
+//! `--metrics-out` additionally runs every protocol once at the chosen
+//! scale with the metrics recorder on and writes the per-protocol counter/
+//! histogram snapshots (resolution split, search hops, cache hits);
+//! `--trace-out` does the same with timeline capture and writes a
+//! Chrome-trace file, one process per protocol, loadable in Perfetto.
 
 use std::collections::BTreeSet;
 
@@ -17,7 +23,9 @@ use socialtube::analysis::prefetch_accuracy;
 use socialtube::SocialTubeConfig;
 use socialtube_bench::CsvWriter;
 use socialtube_experiments::figures as xfig;
-use socialtube_experiments::{configs, net_driver, ExperimentOptions, Protocol, RunSpec};
+use socialtube_experiments::{
+    configs, net_driver, ExperimentOptions, Protocol, RecorderConfig, RunSpec,
+};
 use socialtube_trace::{
     analysis, generate, generate_shared, stats::Percentiles, Trace, TraceConfig,
 };
@@ -38,6 +46,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Demo;
     let mut seed: u64 = 42;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut targets: BTreeSet<String> = BTreeSet::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -47,6 +57,18 @@ fn main() {
                     eprintln!("--seed needs an integer");
                     std::process::exit(2);
                 });
+            }
+            "--metrics-out" => {
+                metrics_out = Some(iter.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--metrics-out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--trace-out" => {
+                trace_out = Some(iter.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--trace-out needs a path");
+                    std::process::exit(2);
+                }));
             }
             "--scale" => {
                 scale = match iter.next().map(String::as_str) {
@@ -64,7 +86,10 @@ fn main() {
             }
         }
     }
-    if targets.is_empty() || targets.contains("all") {
+    // `--metrics-out`/`--trace-out` alone run just the recorded pass, not
+    // every figure.
+    let only_observability = targets.is_empty() && (metrics_out.is_some() || trace_out.is_some());
+    if (targets.is_empty() && !only_observability) || targets.contains("all") {
         targets = [
             "table1",
             "fig2",
@@ -215,7 +240,77 @@ fn main() {
             other => eprintln!("unknown target {other}, skipping"),
         }
     }
+    if metrics_out.is_some() || trace_out.is_some() {
+        observability_outputs(scale, seed, metrics_out.as_deref(), trace_out.as_deref());
+    }
     println!("\nCSV series written to {OUT_DIR}/");
+}
+
+/// Runs every protocol once at `scale` with the recorder attached and
+/// writes the requested observability artifacts: merged metrics snapshots
+/// (`--metrics-out`) and/or a multi-process Chrome trace (`--trace-out`).
+fn observability_outputs(
+    scale: Scale,
+    seed: u64,
+    metrics_out: Option<&str>,
+    trace_out: Option<&str>,
+) {
+    let mut options = sim_options(scale);
+    options.seed = seed;
+    let config = if trace_out.is_some() {
+        RecorderConfig::full()
+    } else {
+        RecorderConfig::metrics_only()
+    };
+    let shared = generate_shared(&options.trace, seed);
+    println!(
+        "# recorded pass: 5 protocol variants, {} nodes",
+        options.trace.users
+    );
+    let mut recordings = Vec::new();
+    for protocol in Protocol::ALL {
+        let outcome = RunSpec::new(protocol)
+            .options(options.clone())
+            .trace(shared.clone())
+            .with_recorder(config)
+            .run();
+        let recording = outcome.recording.expect("recording requested");
+        if let Some((ch, cat, srv)) = recording.snapshot.resolution_split() {
+            println!(
+                "#   {protocol}: {:.0}% channel / {:.0}% category / {:.0}% server",
+                ch * 100.0,
+                cat * 100.0,
+                srv * 100.0
+            );
+        }
+        recordings.push((protocol, recording));
+    }
+    if let Some(path) = metrics_out {
+        let mut s = String::from("{\n");
+        for (i, (protocol, recording)) in recordings.iter().enumerate() {
+            if i > 0 {
+                s.push_str(",\n");
+            }
+            let body = recording
+                .snapshot
+                .to_json(2)
+                .lines()
+                .collect::<Vec<_>>()
+                .join("\n  ");
+            s.push_str(&format!("  \"{}\": {body}", protocol.key()));
+        }
+        s.push_str("\n}\n");
+        std::fs::write(path, s).expect("write metrics file");
+        println!("# per-protocol metrics written to {path}");
+    }
+    if let Some(path) = trace_out {
+        let parts: Vec<(&str, &socialtube_obs::Timeline)> = recordings
+            .iter()
+            .map(|(p, r)| (p.key(), r.timeline.as_ref().expect("timeline requested")))
+            .collect();
+        std::fs::write(path, socialtube_obs::chrome_trace(&parts)).expect("write trace file");
+        println!("# chrome trace written to {path}");
+    }
 }
 
 fn sim_options(scale: Scale) -> ExperimentOptions {

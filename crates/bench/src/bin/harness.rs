@@ -6,23 +6,25 @@
 //!     [--seed N] [--min-events-per-sec N] [--out PATH]
 //! ```
 //!
-//! Runs every protocol once over one shared trace (the steady-state smoke
-//! workload) through `RunSpec` — i.e. through `StackBuilder`,
-//! `SessionDirector` and the `CommandInterpreter`/`SimSubstrate` pipeline —
-//! and writes `BENCH_harness.json`. The `--min-events-per-sec` guard turns
-//! the report into a regression gate: exit nonzero if the harness layer
-//! ever makes event dispatch slower than the floor.
+//! Runs every protocol twice over one shared trace (the steady-state smoke
+//! workload) through `RunSpec` — once plain, once with the metrics recorder
+//! attached — and writes `BENCH_harness.json`. The recorded pass tracks the
+//! instrumentation overhead (`recorder_overhead_pct`, target < 5%); the
+//! `--min-events-per-sec` guard turns the report into a regression gate:
+//! exit nonzero if the harness layer ever makes event dispatch slower than
+//! the floor.
 
 use std::io::Write;
 use std::time::Instant;
 
-use socialtube_experiments::{configs, Protocol, RunSpec};
+use socialtube_experiments::{configs, Protocol, RecorderConfig, RunSpec};
 use socialtube_trace::generate_shared;
 
 struct Cell {
     protocol: Protocol,
     events: u64,
     secs: f64,
+    secs_recorded: f64,
 }
 
 fn main() {
@@ -58,39 +60,64 @@ fn main() {
     options.seed = seed;
     let trace_start = Instant::now();
     let shared = generate_shared(&options.trace, seed);
-    let trace_secs = trace_start.elapsed().as_secs_f64();
+    // Microsecond precision: trace generation is fast enough that a
+    // millisecond-rounded figure reads as a flat 0.000.
+    let trace_secs = trace_start.elapsed().as_micros() as f64 / 1e6;
     println!(
-        "# harness bench: {} users, trace generated in {trace_secs:.2}s",
+        "# harness bench: {} users, trace generated in {trace_secs:.6}s",
         shared.graph.user_count()
     );
 
     let mut cells = Vec::new();
     for protocol in Protocol::ALL {
-        let start = Instant::now();
-        let outcome = RunSpec::new(protocol)
+        let spec = RunSpec::new(protocol)
             .options(options.clone())
-            .trace(shared.clone())
-            .run();
+            .trace(shared.clone());
+        let start = Instant::now();
+        let outcome = spec.clone().run();
         let secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let recorded = spec.with_recorder(RecorderConfig::metrics_only()).run();
+        let secs_recorded = start.elapsed().as_secs_f64();
+        assert_eq!(
+            outcome.events, recorded.events,
+            "{protocol}: recorder changed the event count"
+        );
         println!(
-            "#   {protocol}: {} events in {secs:.2}s = {:.0} events/s",
+            "#   {protocol}: {} events in {secs:.2}s = {:.0} events/s ({:.0} recorded)",
             outcome.events,
-            outcome.events as f64 / secs.max(1e-9)
+            outcome.events as f64 / secs.max(1e-9),
+            outcome.events as f64 / secs_recorded.max(1e-9),
         );
         assert!(!outcome.truncated, "{protocol} hit the event budget");
         cells.push(Cell {
             protocol,
             events: outcome.events,
             secs,
+            secs_recorded,
         });
     }
 
     let total_events: u64 = cells.iter().map(|c| c.events).sum();
     let total_secs: f64 = cells.iter().map(|c| c.secs).sum();
+    let total_secs_recorded: f64 = cells.iter().map(|c| c.secs_recorded).sum();
     let eps = total_events as f64 / total_secs.max(1e-9);
-    println!("# total: {total_events} events, {total_secs:.2}s, {eps:.0} events/s");
+    let eps_recorded = total_events as f64 / total_secs_recorded.max(1e-9);
+    let overhead_pct = (total_secs_recorded / total_secs.max(1e-9) - 1.0) * 100.0;
+    println!(
+        "# total: {total_events} events, {total_secs:.2}s, {eps:.0} events/s \
+         ({eps_recorded:.0} recorded, {overhead_pct:+.1}% overhead)"
+    );
 
-    let json = render_json(seed, trace_secs, &cells, total_events, total_secs, eps);
+    let json = render_json(
+        seed,
+        trace_secs,
+        &cells,
+        total_events,
+        eps,
+        eps_recorded,
+        overhead_pct,
+    );
     let mut file = std::fs::File::create(&out).expect("create report file");
     file.write_all(json.as_bytes()).expect("write report");
     println!("# report written to {out}");
@@ -107,30 +134,38 @@ fn render_json(
     trace_secs: f64,
     cells: &[Cell],
     total_events: u64,
-    total_secs: f64,
     eps: f64,
+    eps_recorded: f64,
+    overhead_pct: f64,
 ) -> String {
+    let total_secs: f64 = cells.iter().map(|c| c.secs).sum();
+    let total_secs_recorded: f64 = cells.iter().map(|c| c.secs_recorded).sum();
     let mut per_protocol = String::new();
     for (i, c) in cells.iter().enumerate() {
         if i > 0 {
             per_protocol.push_str(",\n");
         }
         per_protocol.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"events\": {}, \"wall_clock_s\": {:.3}, \"events_per_sec\": {:.0}}}",
+            "    {{\"protocol\": \"{}\", \"events\": {}, \"wall_clock_s\": {:.3}, \
+             \"events_per_sec\": {:.0}, \"events_per_sec_recorded\": {:.0}}}",
             c.protocol.key(),
             c.events,
             c.secs,
             c.events as f64 / c.secs.max(1e-9),
+            c.events as f64 / c.secs_recorded.max(1e-9),
         ));
     }
     format!(
         r#"{{
   "benchmark": "harness",
   "seed": {seed},
-  "trace_wall_clock_s": {trace_secs:.3},
+  "trace_wall_clock_s": {trace_secs:.6},
   "total_events": {total_events},
   "total_wall_clock_s": {total_secs:.3},
+  "total_wall_clock_recorded_s": {total_secs_recorded:.3},
   "events_per_sec": {eps:.0},
+  "events_per_sec_recorded": {eps_recorded:.0},
+  "recorder_overhead_pct": {overhead_pct:.2},
   "per_protocol": [
 {per_protocol}
   ]

@@ -91,6 +91,9 @@ pub enum Message {
         provider: NodeId,
         /// Channel the provider is currently watching (drives link typing).
         provider_channel: Option<ChannelId>,
+        /// TTL remaining on the query when it reached the provider; the
+        /// origin recovers the hop count as `config.ttl - ttl + 1`.
+        ttl: u8,
     },
 
     // ---------------------------------------------- transfer (peer↔peer)

@@ -295,7 +295,12 @@ impl SocialTubePeer {
                     // miss is dropped, never amplified into category floods
                     // or origin load (symmetric with NetTube's
                     // neighbor-cache prefetching).
+                    let video = search.video;
                     self.searches.remove(&id);
+                    out.report(Report::PrefetchAbandoned {
+                        node: self.node,
+                        video,
+                    });
                     return;
                 }
                 (SearchPhase::Category, _) => search.phase = SearchPhase::Server,
@@ -503,11 +508,16 @@ impl VodPeer for SocialTubePeer {
                             video,
                             provider: self.node,
                             provider_channel: self.current_channel,
+                            ttl,
                         },
                     );
                     return;
                 }
                 if ttl == 0 {
+                    out.report(Report::TtlExpired {
+                        node: self.node,
+                        video,
+                    });
                     return;
                 }
                 // Forward along the overlay the query is traversing:
@@ -545,6 +555,7 @@ impl VodPeer for SocialTubePeer {
                 video,
                 provider,
                 provider_channel,
+                ttl,
             } => {
                 let Some(search) = self.searches.get_mut(&id) else {
                     return;
@@ -555,6 +566,14 @@ impl VodPeer for SocialTubePeer {
                 search.provider = Some(provider);
                 let kind = search.kind;
                 let from_chunk = search.from_chunk;
+                // Both phases flood with a fresh `config.ttl`, so the
+                // remaining TTL at the provider recovers the hop count.
+                out.report(Report::SearchResolved {
+                    node: self.node,
+                    video,
+                    phase: search.phase,
+                    hops: self.config.ttl.saturating_sub(ttl).saturating_add(1),
+                });
                 out.to_peer(
                     provider,
                     Message::ChunkRequest {
@@ -801,6 +820,10 @@ impl VodPeer for SocialTubePeer {
                 if self.pending_probes.remove(&nonce).is_some() {
                     // No answer in time: the neighbor failed abruptly.
                     self.neighbors.remove(neighbor);
+                    out.report(Report::NeighborLost {
+                        node: self.node,
+                        neighbor,
+                    });
                 }
             }
 
@@ -1092,6 +1115,7 @@ mod tests {
                 video: vids[0],
                 provider: NodeId::new(9),
                 provider_channel: Some(chans[0]),
+                ttl: 2,
             },
             &mut out,
         );
@@ -1110,6 +1134,7 @@ mod tests {
                 video: vids[0],
                 provider: NodeId::new(8),
                 provider_channel: Some(chans[0]),
+                ttl: 2,
             },
             &mut out,
         );
@@ -1369,6 +1394,7 @@ mod tests {
                 video: vids[0],
                 provider: NodeId::new(6),
                 provider_channel: Some(chans[0]),
+                ttl: 2,
             },
             &mut out,
         );
@@ -1657,6 +1683,7 @@ mod tests {
                 video: vids[0],
                 provider: NodeId::new(6),
                 provider_channel: Some(chans[0]),
+                ttl: 2,
             },
             &mut out,
         );

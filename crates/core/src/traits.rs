@@ -174,6 +174,65 @@ pub enum Report {
         /// The video.
         video: VideoId,
     },
+    /// A P2P search found a provider: which tier answered and how many
+    /// overlay hops the winning query travelled (the paper's
+    /// resolution-split / hop-count quantities).
+    SearchResolved {
+        /// The searching node.
+        node: NodeId,
+        /// The video.
+        video: VideoId,
+        /// The tier that produced the hit (never `Server`; server
+        /// resolutions are [`Report::ServerFallback`]).
+        phase: SearchPhase,
+        /// Hops from the searcher to the provider (direct neighbor = 1).
+        hops: u8,
+    },
+    /// A flooded query arrived with TTL exhausted at a node that could
+    /// neither answer nor forward it. Emitted by the *forwarding* node.
+    TtlExpired {
+        /// The node the query died at.
+        node: NodeId,
+        /// The video.
+        video: VideoId,
+    },
+    /// A probe deadline expired: `node` declared `neighbor` dead and
+    /// evicted it (the overlay-repair event).
+    NeighborLost {
+        /// The probing node.
+        node: NodeId,
+        /// The evicted neighbor.
+        neighbor: NodeId,
+    },
+    /// A speculative prefetch search missed the community and was dropped
+    /// (prefetches never escalate to the server).
+    PrefetchAbandoned {
+        /// The prefetching node.
+        node: NodeId,
+        /// The video.
+        video: VideoId,
+    },
+}
+
+impl Report {
+    /// Whether this report is diagnostic instrumentation rather than part
+    /// of the playback path.
+    ///
+    /// Playback-path reports are strictly ordered by the request they
+    /// belong to and therefore arrive in the same global order on every
+    /// platform; diagnostics can be emitted by *intermediate* nodes
+    /// (forwarders, probers), whose activations interleave differently
+    /// under wall-clock scheduling. Cross-platform equivalence checks
+    /// compare only the non-diagnostic sequence.
+    pub fn is_diagnostic(&self) -> bool {
+        matches!(
+            self,
+            Report::SearchResolved { .. }
+                | Report::TtlExpired { .. }
+                | Report::NeighborLost { .. }
+                | Report::PrefetchAbandoned { .. }
+        )
+    }
 }
 
 /// Buffer collecting a peer's commands during one activation.

@@ -33,6 +33,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
+use socialtube_obs::{MetricsSnapshot, RecorderConfig};
 use socialtube_sim::SimRng;
 use socialtube_trace::{generate_shared, SharedTrace};
 
@@ -52,6 +53,7 @@ pub struct Campaign {
     protocols: Vec<Protocol>,
     seeds: Vec<u64>,
     workers: usize,
+    recorder: RecorderConfig,
 }
 
 /// One cell of the sweep grid before execution.
@@ -158,7 +160,17 @@ impl Campaign {
             protocols: Protocol::ALL.to_vec(),
             seeds,
             workers: default_workers(),
+            recorder: RecorderConfig::default(),
         }
+    }
+
+    /// Attaches a recorder to every cell ([`RunSpec::with_recorder`]):
+    /// each outcome then carries a metrics snapshot, and
+    /// [`CampaignReport::merged_snapshot`] aggregates them per protocol.
+    /// Recording never changes the results — runs stay bitwise identical.
+    pub fn recorder(mut self, config: RecorderConfig) -> Self {
+        self.recorder = config;
+        self
     }
 
     /// Restricts the sweep to `protocols`.
@@ -240,6 +252,7 @@ impl Campaign {
                     .options(self.base.clone())
                     .seed(p.seed)
                     .trace(traces[p.sweep_index].clone())
+                    .with_recorder(self.recorder)
             })
             .collect();
         let outcomes = run_specs(specs, workers);
@@ -370,6 +383,24 @@ impl CampaignReport {
         })
     }
 
+    /// Merges the metrics snapshots of every recorded cell of `protocol`
+    /// across seeds: counters add, histograms add bucketwise. `None` when
+    /// the campaign ran without a recorder or the protocol never ran.
+    pub fn merged_snapshot(&self, protocol: Protocol) -> Option<MetricsSnapshot> {
+        let mut merged: Option<MetricsSnapshot> = None;
+        for cell in &self.cells {
+            if cell.plan.protocol != protocol {
+                continue;
+            }
+            let snap = &cell.outcome.recording.as_ref()?.snapshot;
+            match &mut merged {
+                Some(m) => m.merge(snap),
+                None => merged = Some(snap.clone()),
+            }
+        }
+        merged
+    }
+
     /// One aggregate row per protocol that ran, in first-seen order.
     pub fn summaries(&self) -> Vec<ProtocolSummary> {
         let mut seen = Vec::new();
@@ -492,6 +523,39 @@ mod tests {
         let seed0 = report.cells[0].plan.seed;
         assert!(report.outcome(Protocol::PaVod, seed0).is_some());
         assert_eq!(report.metrics_for(Protocol::SocialTube).len(), 2);
+    }
+
+    #[test]
+    fn recorded_campaign_merges_snapshots_and_stays_bitwise_identical() {
+        let campaign = Campaign::new(tiny())
+            .protocols(&[Protocol::SocialTube, Protocol::PaVod])
+            .replicates(2)
+            .workers(2);
+        let plain = campaign.run_serial();
+        let recorded = campaign
+            .clone()
+            .recorder(RecorderConfig::metrics_only())
+            .run();
+        for (p, r) in plain.cells.iter().zip(&recorded.cells) {
+            assert_eq!(p.outcome.metrics, r.outcome.metrics, "{}", p.plan.protocol);
+            assert_eq!(p.outcome.events, r.outcome.events);
+        }
+        assert!(plain.merged_snapshot(Protocol::SocialTube).is_none());
+        let snap = recorded
+            .merged_snapshot(Protocol::SocialTube)
+            .expect("recorded campaign has snapshots");
+        // Two seeds merged: event counters cover both runs' engine events.
+        let per_cell: u64 = recorded
+            .cells
+            .iter()
+            .filter(|c| c.plan.protocol == Protocol::SocialTube)
+            .map(|c| {
+                let s = &c.outcome.recording.as_ref().unwrap().snapshot;
+                s.counter("ev_login")
+            })
+            .sum();
+        assert_eq!(snap.counter("ev_login"), per_cell);
+        assert!(snap.counter("ev_login") > 0);
     }
 
     #[test]

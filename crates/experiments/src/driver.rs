@@ -13,6 +13,9 @@ use std::sync::Arc;
 use socialtube::harness::CommandInterpreter;
 use socialtube::{Message, Outbox, PeerAddr, Report, ServerOutbox, TimerKind};
 use socialtube_model::{Catalog, NodeId};
+use socialtube_obs::{
+    Counter, HistKind, NullRecorder, Recorder, RecorderConfig, RunRecorder, RunRecording, Track,
+};
 use socialtube_sim::{
     Engine, LatencyModel, PeriodicSampler, ServerQueue, SimDuration, SimRng, SimTime,
     UploadScheduler,
@@ -24,6 +27,7 @@ use crate::harness::{
     ProtocolStack, SessionDirector, SessionStep, SimEvent, SimSubstrate, StackBuilder,
 };
 use crate::metrics::{MetricsCollector, MetricsSummary};
+use crate::recording::record_report;
 use crate::Protocol;
 
 /// Events the driver schedules on the engine.
@@ -85,6 +89,9 @@ pub struct SimOutcome {
     pub server_backlog_timeline: Vec<(u64, SimDuration)>,
     /// True if the run hit the `max_events` safety valve.
     pub truncated: bool,
+    /// Metrics snapshot and optional timeline, when the spec asked for
+    /// recording ([`RunSpec::with_recorder`]); `None` otherwise.
+    pub recording: Option<RunRecording>,
 }
 
 /// Builder-style specification of one simulation run — the single entry
@@ -115,6 +122,7 @@ pub struct RunSpec {
     options: ExperimentOptions,
     seed: Option<u64>,
     trace: Option<SharedTrace>,
+    recorder: RecorderConfig,
 }
 
 impl RunSpec {
@@ -125,6 +133,7 @@ impl RunSpec {
             options: ExperimentOptions::default(),
             seed: None,
             trace: None,
+            recorder: RecorderConfig::default(),
         }
     }
 
@@ -150,6 +159,17 @@ impl RunSpec {
         self
     }
 
+    /// Turns on instrumentation: the outcome's
+    /// [`recording`](SimOutcome::recording) carries a
+    /// [`MetricsSnapshot`](socialtube_obs::MetricsSnapshot) (and a
+    /// timeline when `config.timeline` is set). Recording never perturbs
+    /// the run: it draws no RNG and schedules nothing, so metrics and
+    /// event counts are bitwise identical with it on or off.
+    pub fn with_recorder(mut self, config: RecorderConfig) -> Self {
+        self.recorder = config;
+        self
+    }
+
     /// The protocol this spec runs.
     pub fn protocol(&self) -> Protocol {
         self.protocol
@@ -160,8 +180,26 @@ impl RunSpec {
         self.seed.unwrap_or(self.options.seed)
     }
 
-    /// Executes the run to completion.
+    /// Executes the run to completion. When
+    /// [`with_recorder`](RunSpec::with_recorder) asked for capture, the
+    /// outcome's `recording` is populated; otherwise the run goes through
+    /// the zero-cost [`NullRecorder`] path.
     pub fn run(&self) -> SimOutcome {
+        if self.recorder.enabled() {
+            let mut rec = RunRecorder::new(self.recorder);
+            let mut outcome = self.run_recorded(&mut rec);
+            outcome.recording = Some(rec.finish());
+            outcome
+        } else {
+            self.run_recorded(&mut NullRecorder)
+        }
+    }
+
+    /// Executes the run against a caller-owned [`Recorder`]. This is the
+    /// escape hatch for custom recorder implementations; most callers want
+    /// [`run`](RunSpec::run) plus [`with_recorder`](RunSpec::with_recorder).
+    /// The outcome's `recording` is `None` — the caller holds the recorder.
+    pub fn run_recorded<R: Recorder>(&self, rec: &mut R) -> SimOutcome {
         let seed = self.effective_seed();
         match &self.trace {
             Some(shared) => run_with_catalog(
@@ -170,6 +208,7 @@ impl RunSpec {
                 self.protocol,
                 &self.options,
                 seed,
+                rec,
             ),
             None => {
                 let shared = SharedTrace::new(generate(&self.options.trace, seed));
@@ -179,34 +218,11 @@ impl RunSpec {
                     self.protocol,
                     &self.options,
                     seed,
+                    rec,
                 )
             }
         }
     }
-}
-
-/// Generates the trace from `options` and runs `protocol` over it.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `RunSpec::new(protocol).options(options.clone()).run()`"
-)]
-pub fn run_simulation(protocol: Protocol, options: &ExperimentOptions) -> SimOutcome {
-    RunSpec::new(protocol).options(options.clone()).run()
-}
-
-/// Runs `protocol` over an existing `trace`, seeding from `options.seed`.
-#[deprecated(
-    since = "0.3.0",
-    note = "deep-copies the trace's catalog on every call; build a `SharedTrace` once \
-            and use `RunSpec::new(protocol).options(..).trace(shared).run()`"
-)]
-pub fn run_simulation_on(
-    trace: &Trace,
-    protocol: Protocol,
-    options: &ExperimentOptions,
-) -> SimOutcome {
-    let catalog = Arc::new(trace.catalog.clone());
-    run_with_catalog(trace, catalog, protocol, options, options.seed)
 }
 
 /// The actual run loop: all entry points funnel here with an explicit
@@ -215,13 +231,16 @@ pub fn run_simulation_on(
 /// The loop itself owns only the virtual clock and event dispatch; the
 /// stack comes from [`StackBuilder`], session logic from
 /// [`SessionDirector`], and command execution from the shared
-/// [`CommandInterpreter`] over the [`SimSubstrate`].
-fn run_with_catalog(
+/// [`CommandInterpreter`] over the [`SimSubstrate`]. The recorder is
+/// monomorphized in: with [`NullRecorder`] every observation compiles to
+/// nothing (`R::ENABLED` is a constant `false`).
+fn run_with_catalog<R: Recorder>(
     trace: &Trace,
     catalog: Arc<Catalog>,
     protocol: Protocol,
     options: &ExperimentOptions,
     seed: u64,
+    rec: &mut R,
 ) -> SimOutcome {
     let root = SimRng::seed(seed ^ 0x50c1_a17b);
     let users = trace.graph.user_count();
@@ -258,7 +277,30 @@ fn run_with_catalog(
     while let Some((now, ev)) = engine.next_event() {
         if backlog_sampler.due(now) > 0 {
             let minute = now.as_micros() / 60_000_000;
-            server_backlog_timeline.push((minute, server_queue.backlog(now)));
+            let backlog = server_queue.backlog(now);
+            server_backlog_timeline.push((minute, backlog));
+            if R::ENABLED {
+                let depth = engine.pending() as u64;
+                rec.observe(HistKind::QueueDepth, depth);
+                rec.sample(Track::Engine, "queue_depth", now.as_micros(), depth);
+                rec.sample(
+                    Track::Server,
+                    "backlog_ms",
+                    now.as_micros(),
+                    backlog.as_millis(),
+                );
+            }
+        }
+        if R::ENABLED {
+            rec.count(match &ev {
+                Ev::Login(_) => Counter::EvLogin,
+                Ev::Logout(_) => Counter::EvLogout,
+                Ev::NextVideo(_) => Counter::EvNextVideo,
+                Ev::WatchEnd(_) => Counter::EvWatchEnd,
+                Ev::PeerMsg { .. } => Counter::EvPeerMsg,
+                Ev::ServerMsg { .. } => Counter::EvServerMsg,
+                Ev::PeerTimer { .. } => Counter::EvPeerTimer,
+            });
         }
         // The peer whose commands the outbox will carry after this event.
         let mut actor: Option<NodeId> = None;
@@ -268,10 +310,16 @@ fn run_with_catalog(
                 director.on_login(node);
                 peers[node.index()].on_login(now, &mut outbox);
                 engine.schedule_in(director.workload().browse_delay, Ev::NextVideo(node));
+                if R::ENABLED {
+                    rec.span_begin(Track::Peer(node.as_u32()), "session", now.as_micros());
+                }
             }
 
             Ev::Logout(node) => {
                 actor = Some(node);
+                if R::ENABLED {
+                    rec.span_end(Track::Peer(node.as_u32()), now.as_micros());
+                }
                 peers[node.index()].on_logout(now, &mut outbox);
                 if director.is_abrupt_exit(node) {
                     // Abrupt failure: the process died before any goodbye
@@ -333,9 +381,11 @@ fn run_with_catalog(
                 latency: &latency,
                 uploads: &mut uploads,
                 server_queue: &mut server_queue,
+                recorder: &mut *rec,
             };
             CommandInterpreter::flush_peer(actor, &mut outbox, &mut sub, |sub, report| {
                 metrics.on_report(now, report);
+                record_report(sub.recorder, now, &report);
                 if let Report::PlaybackStarted { node, video, .. } = report {
                     if let Some(watched) = director.on_playback_started(node, video) {
                         // A real playback: sample maintenance overhead and
@@ -357,11 +407,18 @@ fn run_with_catalog(
                 latency: &latency,
                 uploads: &mut uploads,
                 server_queue: &mut server_queue,
+                recorder: &mut *rec,
             };
-            interpreter.flush_server(&mut server_outbox, &mut sub, |_, report| {
+            interpreter.flush_server(&mut server_outbox, &mut sub, |sub, report| {
                 metrics.on_report(now, report);
+                record_report(sub.recorder, now, &report);
             });
         }
+    }
+    if R::ENABLED {
+        // The high-water mark complements the per-minute samples: a burst
+        // between sampling points still shows up in the distribution.
+        rec.observe(HistKind::QueueDepth, engine.peak_pending() as u64);
     }
 
     let contributions: Vec<f64> = (0..users)
@@ -376,6 +433,7 @@ fn run_with_catalog(
         upload_fairness: socialtube_trace::stats::jain_fairness(&contributions),
         server_backlog_timeline,
         truncated: engine.budget_exhausted(),
+        recording: None,
     }
 }
 
@@ -393,15 +451,46 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_run_spec() {
-        let options = configs::smoke_test();
-        let via_shim = run(Protocol::SocialTube, &options);
-        let via_spec = RunSpec::new(Protocol::SocialTube)
-            .options(options.clone())
+    fn recording_is_invisible_to_the_run() {
+        // The bitwise-determinism contract: a run with full recording on
+        // is indistinguishable (metrics, event count, drain time) from a
+        // plain run for every protocol.
+        for p in [Protocol::SocialTube, Protocol::NetTube, Protocol::PaVod] {
+            let options = configs::smoke_test();
+            let plain = RunSpec::new(p).options(options.clone()).run();
+            let recorded = RunSpec::new(p)
+                .options(options)
+                .with_recorder(socialtube_obs::RecorderConfig::full())
+                .run();
+            assert_eq!(plain.metrics, recorded.metrics, "{p}: metrics diverged");
+            assert_eq!(plain.events, recorded.events, "{p}: event count diverged");
+            assert_eq!(plain.sim_end, recorded.sim_end, "{p}: drain time diverged");
+            assert!(plain.recording.is_none());
+            let recording = recorded.recording.expect("recording requested");
+            assert!(recording.snapshot.counter("ev_login") > 0);
+            assert!(!recording
+                .timeline
+                .expect("timeline requested")
+                .events()
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_carries_the_resolution_split() {
+        let outcome = RunSpec::new(Protocol::SocialTube)
+            .options(configs::smoke_test_long())
+            .with_recorder(socialtube_obs::RecorderConfig::metrics_only())
             .run();
-        assert_eq!(via_shim.metrics, via_spec.metrics);
-        assert_eq!(via_shim.events, via_spec.events);
+        let snap = outcome.recording.expect("recording requested").snapshot;
+        let (channel, _category, server) = snap.resolution_split().expect("searches resolved");
+        // SocialTube's point: most lookups resolve inside the community,
+        // not at the server.
+        assert!(channel > 0.0, "no channel-overlay resolutions");
+        assert!(server < 1.0, "everything fell back to the server");
+        let hops = snap.histogram("search_hops").expect("hop histogram");
+        assert!(hops.count > 0);
+        assert!(hops.max >= 1);
     }
 
     #[test]

@@ -208,9 +208,11 @@ mod tests {
     #[test]
     fn session_advances_through_its_video_budget() {
         let trace = generate(&TraceConfig::tiny(), 7);
-        let mut workload = WorkloadConfig::default();
-        workload.videos_per_session = 2;
-        workload.sessions_per_node = 2;
+        let workload = WorkloadConfig {
+            videos_per_session: 2,
+            sessions_per_node: 2,
+            ..WorkloadConfig::default()
+        };
         let mut d = director(trace.graph.user_count(), workload);
         let node = NodeId::new(0);
         d.on_login(node);
@@ -248,8 +250,10 @@ mod tests {
     #[test]
     fn abandon_watch_consumes_the_video_budget() {
         let trace = generate(&TraceConfig::tiny(), 7);
-        let mut workload = WorkloadConfig::default();
-        workload.videos_per_session = 1;
+        let workload = WorkloadConfig {
+            videos_per_session: 1,
+            ..WorkloadConfig::default()
+        };
         let mut d = director(trace.graph.user_count(), workload);
         let node = NodeId::new(2);
         d.on_login(node);
@@ -261,14 +265,18 @@ mod tests {
 
     #[test]
     fn abrupt_draws_follow_the_failure_probability() {
-        let mut workload = WorkloadConfig::default();
-        workload.abrupt_departure_prob = 1.0;
+        let workload = WorkloadConfig {
+            abrupt_departure_prob: 1.0,
+            ..WorkloadConfig::default()
+        };
         let mut d = director(4, workload);
         d.on_login(NodeId::new(0));
         assert!(d.is_abrupt_exit(NodeId::new(0)));
 
-        let mut workload = WorkloadConfig::default();
-        workload.abrupt_departure_prob = 0.0;
+        let workload = WorkloadConfig {
+            abrupt_departure_prob: 0.0,
+            ..WorkloadConfig::default()
+        };
         let mut d = director(4, workload);
         d.on_login(NodeId::new(0));
         assert!(!d.is_abrupt_exit(NodeId::new(0)));

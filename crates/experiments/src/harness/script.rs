@@ -20,12 +20,14 @@ use socialtube::harness::CommandInterpreter;
 use socialtube::{Message, Outbox, PeerAddr, Report, ServerOutbox, TimerKind, TransferKind};
 use socialtube_model::{Catalog, CatalogBuilder, NodeId, SocialGraph, VideoId};
 use socialtube_net::testbed::{Deployment, TestbedConfig};
+use socialtube_obs::{NullRecorder, Recorder};
 use socialtube_sim::{
     Engine, LatencyModel, ServerQueue, SimDuration, SimRng, SimTime, UploadScheduler,
 };
 use socialtube_trace::{Trace, TraceConfig};
 
 use super::{SimEvent, SimSubstrate, StackBuilder};
+use crate::recording::record_report;
 use crate::Protocol;
 
 /// Quiet period after the last scripted action during which both runners
@@ -80,6 +82,17 @@ impl ReportKey {
             },
             Report::ServerFallback { node, video } => ("fallback", node, video),
             Report::ServedFromOrigin { node, video } => ("origin", node, video),
+            Report::SearchResolved { node, video, .. } => ("resolved", node, video),
+            Report::TtlExpired { node, video } => ("ttl-expired", node, video),
+            Report::NeighborLost { node, neighbor } => {
+                // No video concerned; record the lost neighbor instead.
+                return Self {
+                    kind: "neighbor-lost",
+                    node: node.as_u32(),
+                    video: neighbor.as_u32(),
+                };
+            }
+            Report::PrefetchAbandoned { node, video } => ("prefetch-abandoned", node, video),
         };
         Self {
             kind,
@@ -200,6 +213,19 @@ pub fn run_script_sim(
     script: &[ScriptStep],
     config: &TestbedConfig,
 ) -> Vec<ReportKey> {
+    run_script_sim_recorded(protocol, trace, script, config, &mut NullRecorder)
+}
+
+/// [`run_script_sim`] with a caller-owned [`Recorder`] attached. The key
+/// sequence must be identical with any recorder — the golden-fixture tests
+/// pin exactly that.
+pub fn run_script_sim_recorded<R: Recorder>(
+    protocol: Protocol,
+    trace: &Trace,
+    script: &[ScriptStep],
+    config: &TestbedConfig,
+    rec: &mut R,
+) -> Vec<ReportKey> {
     let catalog = Arc::new(trace.catalog.clone());
     let users = trace.graph.user_count();
     let stack = StackBuilder::for_testbed(protocol, Arc::clone(&catalog))
@@ -272,9 +298,16 @@ pub fn run_script_sim(
                 latency: &latency,
                 uploads: &mut uploads,
                 server_queue: &mut server_queue,
+                recorder: &mut *rec,
             };
-            CommandInterpreter::flush_peer(actor, &mut outbox, &mut sub, |_, report| {
-                keys.push(ReportKey::of(&report));
+            CommandInterpreter::flush_peer(actor, &mut outbox, &mut sub, |sub, report| {
+                record_report(sub.recorder, now, &report);
+                // Diagnostic reports come from intermediate forwarders and
+                // probe races whose global order differs between virtual
+                // and wall-clock time; the equivalence keys exclude them.
+                if !report.is_diagnostic() {
+                    keys.push(ReportKey::of(&report));
+                }
             });
         }
         {
@@ -284,9 +317,13 @@ pub fn run_script_sim(
                 latency: &latency,
                 uploads: &mut uploads,
                 server_queue: &mut server_queue,
+                recorder: &mut *rec,
             };
-            interpreter.flush_server(&mut server_outbox, &mut sub, |_, report| {
-                keys.push(ReportKey::of(&report));
+            interpreter.flush_server(&mut server_outbox, &mut sub, |sub, report| {
+                record_report(sub.recorder, now, &report);
+                if !report.is_diagnostic() {
+                    keys.push(ReportKey::of(&report));
+                }
             });
         }
     }
@@ -336,6 +373,7 @@ pub fn run_script_tcp(
     Ok(outcome
         .events
         .iter()
+        .filter(|e| !e.report.is_diagnostic())
         .map(|e| ReportKey::of(&e.report))
         .collect())
 }
@@ -377,6 +415,22 @@ mod tests {
             first.kind == "fallback" || first.kind == "origin",
             "first report should be the server path, got {first:?}"
         );
+    }
+
+    #[test]
+    fn recorded_script_replay_matches_plain_replay() {
+        let (trace, vids) = four_peer_trace();
+        let script = demo_script(&vids);
+        let config = TestbedConfig::default();
+        for protocol in Protocol::ALL {
+            let plain = run_script_sim(protocol, &trace, &script, &config);
+            let mut rec = socialtube_obs::CountingRecorder::new();
+            let recorded = run_script_sim_recorded(protocol, &trace, &script, &config, &mut rec);
+            assert_eq!(
+                plain, recorded,
+                "{protocol}: recorder changed the key stream"
+            );
+        }
     }
 
     #[test]

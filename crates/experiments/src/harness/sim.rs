@@ -3,6 +3,7 @@
 use socialtube::harness::{PeerSubstrate, ServerSubstrate};
 use socialtube::{Message, PeerAddr, TimerKind};
 use socialtube_model::NodeId;
+use socialtube_obs::{HistKind, NullRecorder, Recorder};
 use socialtube_sim::{Engine, LatencyModel, ServerQueue, SimDuration, SimTime, UploadScheduler};
 
 /// Constructors for the engine-event enum a simulation driver schedules.
@@ -31,7 +32,12 @@ pub trait SimEvent: Sized {
 /// Borrows the driver's engine and network models for the duration of one
 /// outbox flush; construct it fresh per event with the current virtual
 /// `now`.
-pub struct SimSubstrate<'a, E> {
+///
+/// The substrate also carries the run's [`Recorder`] so bandwidth-queue
+/// waits are observed where they happen and report handlers (which receive
+/// the substrate) can feed protocol counters. With the default
+/// [`NullRecorder`] every observation compiles away.
+pub struct SimSubstrate<'a, E, R = NullRecorder> {
     /// The virtual time of the event being processed.
     pub now: SimTime,
     /// The engine deliveries are scheduled onto.
@@ -42,9 +48,11 @@ pub struct SimSubstrate<'a, E> {
     pub uploads: &'a mut UploadScheduler,
     /// The server's bounded upload pipe.
     pub server_queue: &'a mut ServerQueue,
+    /// The run's observation sink.
+    pub recorder: &'a mut R,
 }
 
-impl<E> std::fmt::Debug for SimSubstrate<'_, E> {
+impl<E, R> std::fmt::Debug for SimSubstrate<'_, E, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimSubstrate")
             .field("now", &self.now)
@@ -52,7 +60,7 @@ impl<E> std::fmt::Debug for SimSubstrate<'_, E> {
     }
 }
 
-impl<E: SimEvent> PeerSubstrate for SimSubstrate<'_, E> {
+impl<E: SimEvent, R: Recorder> PeerSubstrate for SimSubstrate<'_, E, R> {
     fn peer_control(&mut self, from: NodeId, to: NodeId, msg: Message) {
         let arrival = self.now + self.latency.delay(from.as_u32(), to.as_u32());
         self.engine
@@ -60,7 +68,11 @@ impl<E: SimEvent> PeerSubstrate for SimSubstrate<'_, E> {
     }
 
     fn peer_bulk(&mut self, from: NodeId, to: NodeId, bits: u64, msg: Message) {
-        let ready = self.uploads.upload(from.index(), self.now, bits);
+        let (ready, waited) = self.uploads.upload_timed(from.index(), self.now, bits);
+        if R::ENABLED {
+            self.recorder
+                .observe(HistKind::PeerUploadWaitUs, waited.as_micros());
+        }
         let arrival = ready + self.latency.delay(from.as_u32(), to.as_u32());
         self.engine
             .schedule_at(arrival, E::peer_msg(to, PeerAddr::Peer(from), msg));
@@ -76,7 +88,7 @@ impl<E: SimEvent> PeerSubstrate for SimSubstrate<'_, E> {
     }
 }
 
-impl<E: SimEvent> ServerSubstrate for SimSubstrate<'_, E> {
+impl<E: SimEvent, R: Recorder> ServerSubstrate for SimSubstrate<'_, E, R> {
     fn server_control(&mut self, to: NodeId, msg: Message) {
         let arrival = self.now + self.latency.server_delay(to.as_u32());
         self.engine
@@ -84,7 +96,11 @@ impl<E: SimEvent> ServerSubstrate for SimSubstrate<'_, E> {
     }
 
     fn server_chunk(&mut self, to: NodeId, bits: u64, msg: Message) {
-        let ready = self.server_queue.serve(self.now, bits);
+        let (ready, waited) = self.server_queue.serve_timed(self.now, bits);
+        if R::ENABLED {
+            self.recorder
+                .observe(HistKind::ServerQueueWaitUs, waited.as_micros());
+        }
         let arrival = ready + self.latency.server_delay(to.as_u32());
         self.engine
             .schedule_at(arrival, E::peer_msg(to, PeerAddr::Server, msg));
@@ -121,6 +137,7 @@ mod tests {
         latency: LatencyModel,
         uploads: UploadScheduler,
         server_queue: ServerQueue,
+        recorder: NullRecorder,
     }
 
     impl Fixture {
@@ -130,6 +147,7 @@ mod tests {
                 latency: LatencyModel::constant(SimDuration::from_millis(10)),
                 uploads: UploadScheduler::new(4, 1_000_000),
                 server_queue: ServerQueue::new(1_000_000),
+                recorder: NullRecorder,
             }
         }
 
@@ -140,6 +158,7 @@ mod tests {
                 latency: &self.latency,
                 uploads: &mut self.uploads,
                 server_queue: &mut self.server_queue,
+                recorder: &mut self.recorder,
             }
         }
     }

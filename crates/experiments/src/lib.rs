@@ -17,6 +17,10 @@
 //! * [`metrics`] — the three evaluation metrics: startup delay, normalized
 //!   peer bandwidth (1st/50th/99th percentiles), and overlay maintenance
 //!   overhead versus videos watched.
+//! * [`recording`] — the report→[`Recorder`](socialtube_obs::Recorder)
+//!   mapping behind [`RunSpec::with_recorder`]: resolution split, search
+//!   hops, cache/prefetch hits and run timelines, captured without
+//!   perturbing the run.
 //! * [`configs`] — Table I parameters and the scaled-down
 //!   PlanetLab-style configuration.
 //! * [`figures`] — one runner per evaluation figure (16, 17, 18 and the
@@ -65,17 +69,17 @@ pub mod figures;
 pub mod harness;
 pub mod metrics;
 pub mod net_driver;
+pub mod recording;
 pub mod workload;
 
 pub use campaign::{
     run_specs, Aggregate, Campaign, CampaignCell, CampaignReport, PlannedRun, ProtocolSummary,
 };
 pub use configs::{ExperimentOptions, NetworkOptions};
-#[allow(deprecated)]
-pub use driver::{run_simulation, run_simulation_on};
 pub use driver::{RunSpec, SimOutcome};
 pub use metrics::{MetricsCollector, MetricsSummary};
 pub use net_driver::{run_net, NetExperimentOptions, NetRun};
+pub use socialtube_obs::{MetricsSnapshot, RecorderConfig, RunRecording};
 pub use workload::{SelectionMix, WorkloadConfig, WorkloadPlanner};
 
 /// Which protocol variant an experiment runs.

@@ -95,6 +95,13 @@ impl MetricsCollector {
             }
             Report::ServerFallback { .. } => self.server_fallbacks += 1,
             Report::ServedFromOrigin { .. } => self.origin_serves += 1,
+            // Diagnostic reports feed the obs recorder, not the paper's
+            // evaluation metrics: ignoring them here keeps MetricsSummary
+            // (and the golden fixtures pinning it) unchanged.
+            Report::SearchResolved { .. }
+            | Report::TtlExpired { .. }
+            | Report::NeighborLost { .. }
+            | Report::PrefetchAbandoned { .. } => {}
         }
     }
 

@@ -1,0 +1,134 @@
+//! Mapping from protocol [`Report`]s to [`Recorder`] observations.
+//!
+//! This is driver policy, shared by the main simulation driver and the
+//! scripted equivalence runner: every report a flush delivers is also
+//! offered to the run's recorder. The mapping only *observes* — it draws
+//! no RNG, schedules nothing, and allocates nothing — so attaching a
+//! recorder cannot perturb a run.
+
+use socialtube::{ChunkSource, Report, SearchPhase};
+use socialtube_obs::{Counter, HistKind, Recorder, Track};
+use socialtube_sim::SimTime;
+
+/// Feeds one report into `rec`: resolution-split and repair counters, the
+/// search-hop histogram, cache/prefetch hit accounting, and the matching
+/// timeline instants on the reporting peer's track.
+pub fn record_report<R: Recorder>(rec: &mut R, now: SimTime, report: &Report) {
+    if !R::ENABLED {
+        return;
+    }
+    let ts = now.as_micros();
+    match *report {
+        Report::PlaybackStarted { node, source, .. } => {
+            match source {
+                ChunkSource::Cache => rec.count(Counter::CacheHit),
+                ChunkSource::Prefetched => {
+                    // The session cache missed, but the speculative first
+                    // chunk was there: an instant start anyway.
+                    rec.count(Counter::CacheMiss);
+                    rec.count(Counter::PrefetchHit);
+                }
+                ChunkSource::Peer | ChunkSource::Server => {
+                    rec.count(Counter::CacheMiss);
+                    rec.count(Counter::PrefetchMiss);
+                }
+            }
+            rec.instant(Track::Peer(node.as_u32()), "playback", ts);
+        }
+        // Chunk arrivals are the hottest report; the evaluation metrics
+        // already aggregate them, so the recorder skips them entirely.
+        Report::ChunkReceived { .. } => {}
+        Report::ServerFallback { node, .. } => {
+            rec.count(Counter::ResolvedServer);
+            rec.instant(Track::Peer(node.as_u32()), "server-fallback", ts);
+        }
+        Report::ServedFromOrigin { .. } => rec.count(Counter::OriginServe),
+        Report::SearchResolved {
+            node, phase, hops, ..
+        } => {
+            rec.count(match phase {
+                SearchPhase::Channel => Counter::ResolvedChannel,
+                SearchPhase::Category => Counter::ResolvedCategory,
+                // Server resolutions arrive as `ServerFallback`; a
+                // `SearchResolved` should never carry the server phase.
+                SearchPhase::Server => Counter::ResolvedServer,
+            });
+            rec.observe(HistKind::SearchHops, u64::from(hops));
+            rec.instant(Track::Peer(node.as_u32()), "search-hit", ts);
+        }
+        Report::TtlExpired { .. } => rec.count(Counter::TtlExpired),
+        Report::NeighborLost { node, .. } => {
+            rec.count(Counter::NeighborLost);
+            rec.instant(Track::Peer(node.as_u32()), "neighbor-lost", ts);
+        }
+        Report::PrefetchAbandoned { .. } => rec.count(Counter::PrefetchAbandoned),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialtube_model::{NodeId, VideoId};
+    use socialtube_obs::CountingRecorder;
+
+    #[test]
+    fn resolution_split_and_hops_accumulate() {
+        let mut rec = CountingRecorder::new();
+        let node = NodeId::new(1);
+        let video = VideoId::new(2);
+        record_report(
+            &mut rec,
+            SimTime::ZERO,
+            &Report::SearchResolved {
+                node,
+                video,
+                phase: SearchPhase::Channel,
+                hops: 2,
+            },
+        );
+        record_report(
+            &mut rec,
+            SimTime::ZERO,
+            &Report::SearchResolved {
+                node,
+                video,
+                phase: SearchPhase::Category,
+                hops: 1,
+            },
+        );
+        record_report(
+            &mut rec,
+            SimTime::ZERO,
+            &Report::ServerFallback { node, video },
+        );
+        assert_eq!(rec.counter(Counter::ResolvedChannel), 1);
+        assert_eq!(rec.counter(Counter::ResolvedCategory), 1);
+        assert_eq!(rec.counter(Counter::ResolvedServer), 1);
+        let hops = rec.hist(HistKind::SearchHops);
+        assert_eq!(hops.count(), 2);
+        assert_eq!(hops.sum(), 3);
+    }
+
+    #[test]
+    fn playback_sources_split_cache_and_prefetch() {
+        let mut rec = CountingRecorder::new();
+        let mk = |source| Report::PlaybackStarted {
+            node: NodeId::new(0),
+            video: VideoId::new(0),
+            requested_at: SimTime::ZERO,
+            source,
+        };
+        for source in [
+            ChunkSource::Cache,
+            ChunkSource::Prefetched,
+            ChunkSource::Peer,
+            ChunkSource::Server,
+        ] {
+            record_report(&mut rec, SimTime::ZERO, &mk(source));
+        }
+        assert_eq!(rec.counter(Counter::CacheHit), 1);
+        assert_eq!(rec.counter(Counter::CacheMiss), 3);
+        assert_eq!(rec.counter(Counter::PrefetchHit), 1);
+        assert_eq!(rec.counter(Counter::PrefetchMiss), 2);
+    }
+}

@@ -10,10 +10,10 @@
 //! To re-pin after an *intentional* behaviour change, run with
 //! `UPDATE_GOLDEN=1` and commit the rewritten fixtures.
 
-use socialtube_experiments::{configs, Protocol, RunSpec};
+use socialtube_experiments::{configs, Protocol, RecorderConfig, RunSpec};
 
-fn render(protocol: Protocol) -> String {
-    let out = RunSpec::new(protocol).options(configs::smoke_test()).run();
+fn render_spec(spec: RunSpec) -> String {
+    let out = spec.run();
     format!(
         "{:#?}\nevents: {}\nsim_end_us: {}\nserver_bits_served: {}\nserver_tracked_peak: {}\n",
         out.metrics,
@@ -21,6 +21,21 @@ fn render(protocol: Protocol) -> String {
         out.sim_end.as_micros(),
         out.server_bits_served,
         out.server_tracked_peak,
+    )
+}
+
+fn render(protocol: Protocol) -> String {
+    render_spec(RunSpec::new(protocol).options(configs::smoke_test()))
+}
+
+/// The same rendering with full instrumentation attached: the recorder
+/// observes, never mutates, so this must match the plain fixture byte for
+/// byte.
+fn render_recorded(protocol: Protocol) -> String {
+    render_spec(
+        RunSpec::new(protocol)
+            .options(configs::smoke_test())
+            .with_recorder(RecorderConfig::full()),
     )
 }
 
@@ -36,6 +51,12 @@ fn check(protocol: Protocol, fixture: &str) {
     assert_eq!(
         got, want,
         "{protocol} diverged from the pre-refactor golden file {fixture}"
+    );
+    assert_eq!(
+        render_recorded(protocol),
+        want,
+        "{protocol} with a recorder attached diverged from {fixture}: \
+         instrumentation perturbed the run"
     );
 }
 

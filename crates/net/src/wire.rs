@@ -240,12 +240,14 @@ fn encode_message(msg: &Message, buf: &mut BytesMut) {
             video,
             provider,
             provider_channel,
+            ttl,
         } => {
             buf.put_u8(1);
             buf.put_u64(id.0);
             buf.put_u32(video.as_u32());
             put_node(buf, *provider);
             put_opt_u32(buf, provider_channel.map(ChannelId::as_u32));
+            buf.put_u8(*ttl);
         }
         Message::ChunkRequest {
             id,
@@ -404,6 +406,7 @@ fn decode_message(r: &mut Reader<'_>) -> Result<Message, WireError> {
             video: r.video()?,
             provider: r.node()?,
             provider_channel: r.opt_u32()?.map(ChannelId::new),
+            ttl: r.u8()?,
         },
         2 => Message::ChunkRequest {
             id: RequestId(r.u64()?),
@@ -534,12 +537,14 @@ mod tests {
                 video: VideoId::new(1),
                 provider: NodeId::new(8),
                 provider_channel: Some(ChannelId::new(2)),
+                ttl: 3,
             },
             Message::QueryHit {
                 id,
                 video: VideoId::new(1),
                 provider: NodeId::new(8),
                 provider_channel: None,
+                ttl: 0,
             },
             Message::ChunkRequest {
                 id,

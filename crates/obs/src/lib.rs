@@ -1,0 +1,37 @@
+//! Deterministic, zero-cost-when-disabled instrumentation.
+//!
+//! The paper's evaluation is all about *where* requests resolve — channel
+//! overlay vs. category cluster vs. server (Figs. 8–16) — so this crate
+//! gives every driver a way to watch the protocols work without perturbing
+//! them. Three rules make that safe:
+//!
+//! 1. **Recorders observe, never mutate.** A [`Recorder`] receives facts
+//!    (counter bumps, histogram samples, timeline marks) and must not feed
+//!    anything back into the simulation: no RNG draws, no scheduling, no
+//!    protocol state. Golden fixtures stay bitwise identical with recording
+//!    on or off.
+//! 2. **Zero cost when disabled.** The driver loops are generic over
+//!    `R: Recorder`; [`NullRecorder`] sets
+//!    [`ENABLED`](Recorder::ENABLED)` = false` and every call
+//!    monomorphizes to nothing. Input computation for a recording call can
+//!    be gated on `R::ENABLED` where it is not already free.
+//! 3. **No allocation on the hot path.** [`CountingRecorder`] is a pair of
+//!    fixed arrays; [`Timeline`] is a pre-sized vector of plain-old-data
+//!    events. Export (JSON/Chrome trace rendering) happens after the run.
+//!
+//! The crate is dependency-free; export formats are rendered by hand
+//! (the workspace's vendored `serde` stub does not serialize).
+
+#![warn(missing_docs)]
+
+pub mod json;
+mod recorder;
+mod snapshot;
+mod timeline;
+
+pub use recorder::{
+    Counter, CountingRecorder, HistKind, Histogram, NullRecorder, Recorder, RecorderConfig,
+    RunRecorder, RunRecording, Track,
+};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+pub use timeline::{chrome_trace, Timeline, TraceEvent, TracePhase};

@@ -1,0 +1,210 @@
+//! Serializable metrics snapshots and their hand-rendered JSON form.
+
+/// Sparse, serializable form of one [`Histogram`](crate::Histogram).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HistogramSnapshot {
+    /// The histogram's stable key (e.g. `"search_hops"`).
+    pub kind: &'static str,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(inclusive lower bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds `other`'s observations into this snapshot.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        debug_assert_eq!(self.kind, other.kind);
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for &(lo, c) in &other.buckets {
+            match self.buckets.binary_search_by_key(&lo, |b| b.0) {
+                Ok(i) => self.buckets[i].1 += c,
+                Err(i) => self.buckets.insert(i, (lo, c)),
+            }
+        }
+    }
+}
+
+/// Final counters and histograms of one (or several merged) runs.
+///
+/// Produced by [`CountingRecorder::snapshot`](crate::CountingRecorder::snapshot);
+/// campaigns merge the per-replicate snapshots of a protocol into one.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// `(key, value)` per counter, in [`Counter::ALL`](crate::Counter::ALL)
+    /// order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// One snapshot per histogram kind, in
+    /// [`HistKind::ALL`](crate::HistKind::ALL) order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the counter named `key` (0 when absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The histogram named `key`, if present.
+    pub fn histogram(&self, key: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.kind == key)
+    }
+
+    /// Adds `other`'s counts into this snapshot. An empty (default)
+    /// snapshot adopts `other` wholesale.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        if self.counters.is_empty() && self.histograms.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        for (k, v) in &other.counters {
+            match self.counters.iter_mut().find(|(sk, _)| sk == k) {
+                Some((_, sv)) => *sv += v,
+                None => self.counters.push((k, *v)),
+            }
+        }
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|sh| sh.kind == h.kind) {
+                Some(sh) => sh.merge(h),
+                None => self.histograms.push(h.clone()),
+            }
+        }
+    }
+
+    /// Fraction of searches resolved at each tier, as
+    /// `(channel, category, server)`; `None` when nothing resolved.
+    ///
+    /// This is the paper's key figure-8/9 quantity: how much load the
+    /// channel overlay and category cluster absorb before the server.
+    pub fn resolution_split(&self) -> Option<(f64, f64, f64)> {
+        let ch = self.counter("resolved_channel") as f64;
+        let cat = self.counter("resolved_category") as f64;
+        let srv = self.counter("resolved_server") as f64;
+        let total = ch + cat + srv;
+        if total == 0.0 {
+            return None;
+        }
+        Some((ch / total, cat / total, srv / total))
+    }
+
+    /// Renders the snapshot as a JSON object, indented by `indent` spaces
+    /// per level (fully deterministic: fixed key order, integer values).
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = |n: usize| " ".repeat(indent * n);
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("{}\"counters\": {{\n", pad(1)));
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            s.push_str(&format!("{}\"{k}\": {v}{comma}\n", pad(2)));
+        }
+        s.push_str(&format!("{}}},\n", pad(1)));
+        s.push_str(&format!("{}\"histograms\": {{\n", pad(1)));
+        for (i, h) in self.histograms.iter().enumerate() {
+            let comma = if i + 1 < self.histograms.len() {
+                ","
+            } else {
+                ""
+            };
+            let buckets = h
+                .buckets
+                .iter()
+                .map(|(lo, c)| format!("[{lo}, {c}]"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            s.push_str(&format!(
+                "{}\"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.3}, \
+                 \"buckets\": [{buckets}]}}{comma}\n",
+                pad(2),
+                h.kind,
+                h.count,
+                h.sum,
+                h.max,
+                h.mean(),
+            ));
+        }
+        s.push_str(&format!("{}}}\n", pad(1)));
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Counter, CountingRecorder, HistKind, Recorder};
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut r = CountingRecorder::new();
+        r.add(Counter::ResolvedChannel, 6);
+        r.add(Counter::ResolvedCategory, 3);
+        r.add(Counter::ResolvedServer, 1);
+        r.observe(HistKind::SearchHops, 1);
+        r.observe(HistKind::SearchHops, 2);
+        r.snapshot()
+    }
+
+    #[test]
+    fn resolution_split_normalizes() {
+        let (ch, cat, srv) = sample_snapshot().resolution_split().expect("resolved");
+        assert!((ch - 0.6).abs() < 1e-12);
+        assert!((cat - 0.3).abs() < 1e-12);
+        assert!((srv - 0.1).abs() < 1e-12);
+        assert_eq!(MetricsSnapshot::default().resolution_split(), None);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let mut a = sample_snapshot();
+        a.merge(&sample_snapshot());
+        assert_eq!(a.counter("resolved_channel"), 12);
+        let hops = a.histogram("search_hops").expect("hops hist");
+        assert_eq!(hops.count, 4);
+        assert_eq!(hops.sum, 6);
+        assert_eq!(hops.buckets, vec![(1, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_other() {
+        let mut a = MetricsSnapshot::default();
+        a.merge(&sample_snapshot());
+        assert_eq!(a, sample_snapshot());
+    }
+
+    #[test]
+    fn json_form_is_valid_and_deterministic() {
+        let snap = sample_snapshot();
+        let a = snap.to_json(2);
+        let b = snap.to_json(2);
+        assert_eq!(a, b);
+        let v = crate::json::parse(&a).expect("valid json");
+        let counters = v.get("counters").expect("counters object");
+        assert_eq!(
+            counters.get("resolved_channel").and_then(|x| x.as_u64()),
+            Some(6)
+        );
+        let hops = v
+            .get("histograms")
+            .and_then(|h| h.get("search_hops"))
+            .expect("hops histogram");
+        assert_eq!(hops.get("count").and_then(|x| x.as_u64()), Some(2));
+    }
+}

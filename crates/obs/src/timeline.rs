@@ -1,0 +1,272 @@
+//! Per-run timelines and their Chrome trace-event / JSONL export.
+//!
+//! Timestamps are the simulation's virtual clock in microseconds, which is
+//! exactly the unit the trace-event format wants in `ts` — a run opened in
+//! Perfetto or `chrome://tracing` reads in simulated time. Each [`Track`]
+//! becomes one thread lane: engine, server, and one per peer.
+
+use crate::recorder::Track;
+
+/// The kind of a timeline event (maps to trace-event `ph`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TracePhase {
+    /// A span opens (`ph: "B"`).
+    Begin,
+    /// The innermost span on the track closes (`ph: "E"`).
+    End,
+    /// A point event (`ph: "i"`).
+    Instant,
+    /// A value sample for a counter series (`ph: "C"`).
+    Counter,
+}
+
+/// One plain-old-data timeline event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Event kind.
+    pub phase: TracePhase,
+    /// The lane it belongs to.
+    pub track: Track,
+    /// Event name (empty for span ends).
+    pub name: &'static str,
+    /// Virtual timestamp in microseconds.
+    pub ts_us: u64,
+    /// Sample value (counter events only).
+    pub value: u64,
+}
+
+/// An append-only event list captured during one run.
+///
+/// Events are pushed in virtual-time order by construction (the driver
+/// records as it dispatches), so export never sorts.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    events: Vec<TraceEvent>,
+}
+
+impl Timeline {
+    /// An empty timeline with room for a typical smoke run, so early
+    /// recording does not reallocate per event.
+    pub fn new() -> Self {
+        Self {
+            events: Vec::with_capacity(4096),
+        }
+    }
+
+    /// Appends one event.
+    pub fn push(
+        &mut self,
+        phase: TracePhase,
+        track: Track,
+        name: &'static str,
+        ts_us: u64,
+        value: u64,
+    ) {
+        self.events.push(TraceEvent {
+            phase,
+            track,
+            name,
+            ts_us,
+            value,
+        });
+    }
+
+    /// The captured events, in capture order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Renders the timeline as a single-process Chrome trace file.
+    pub fn to_chrome_trace(&self) -> String {
+        chrome_trace(&[("run", self)])
+    }
+
+    /// Renders the timeline as JSON Lines, one event object per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            let phase = match e.phase {
+                TracePhase::Begin => "B",
+                TracePhase::End => "E",
+                TracePhase::Instant => "i",
+                TracePhase::Counter => "C",
+            };
+            s.push_str(&format!(
+                "{{\"ts_us\": {}, \"track\": \"{}\", \"ph\": \"{phase}\", \
+                 \"name\": \"{}\", \"value\": {}}}\n",
+                e.ts_us,
+                track_label(e.track),
+                e.name,
+                e.value,
+            ));
+        }
+        s
+    }
+}
+
+/// Human label for a track (used by JSONL and thread-name metadata).
+fn track_label(track: Track) -> String {
+    match track {
+        Track::Engine => "engine".into(),
+        Track::Server => "server".into(),
+        Track::Peer(n) => format!("peer-{n}"),
+    }
+}
+
+/// Thread id for a track inside one trace process.
+fn track_tid(track: Track) -> u64 {
+    match track {
+        Track::Engine => 0,
+        Track::Server => 1,
+        Track::Peer(n) => 2 + u64::from(n),
+    }
+}
+
+/// Renders one or more timelines into a Chrome trace-event file: each
+/// `(process name, timeline)` pair becomes one process (so a campaign can
+/// put every protocol into a single trace), each track one named thread.
+///
+/// The output is the object form (`{"traceEvents": [...]}`) accepted by
+/// `chrome://tracing` and Perfetto.
+pub fn chrome_trace(parts: &[(&str, &Timeline)]) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |out: &mut String, line: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+    for (i, (name, timeline)) in parts.iter().enumerate() {
+        let pid = i + 1;
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \"name\": \"process_name\", \
+                 \"args\": {{\"name\": \"{name}\"}}}}"
+            ),
+        );
+        // One thread-name metadata record per distinct track, tid-ordered.
+        let mut tracks: Vec<Track> = timeline.events().iter().map(|e| e.track).collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        for track in &tracks {
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\": \"M\", \"pid\": {pid}, \"tid\": {}, \"name\": \"thread_name\", \
+                     \"args\": {{\"name\": \"{}\"}}}}",
+                    track_tid(*track),
+                    track_label(*track),
+                ),
+            );
+        }
+        for e in timeline.events() {
+            let tid = track_tid(e.track);
+            let line = match e.phase {
+                TracePhase::Begin => format!(
+                    "{{\"ph\": \"B\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}, \
+                     \"name\": \"{}\", \"cat\": \"sim\"}}",
+                    e.ts_us, e.name
+                ),
+                TracePhase::End => format!(
+                    "{{\"ph\": \"E\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}}}",
+                    e.ts_us
+                ),
+                TracePhase::Instant => format!(
+                    "{{\"ph\": \"i\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}, \
+                     \"name\": \"{}\", \"s\": \"t\", \"cat\": \"sim\"}}",
+                    e.ts_us, e.name
+                ),
+                TracePhase::Counter => format!(
+                    "{{\"ph\": \"C\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}, \
+                     \"name\": \"{}\", \"args\": {{\"value\": {}}}}}",
+                    e.ts_us, e.name, e.value
+                ),
+            };
+            push(&mut out, line);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn demo_timeline() -> Timeline {
+        let mut t = Timeline::new();
+        t.push(TracePhase::Begin, Track::Peer(0), "session", 100, 0);
+        t.push(TracePhase::Instant, Track::Peer(0), "playback", 250, 0);
+        t.push(TracePhase::Counter, Track::Engine, "queue_depth", 300, 17);
+        t.push(TracePhase::End, Track::Peer(0), "", 900, 0);
+        t
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_trace_events_array() {
+        let t = demo_timeline();
+        let rendered = t.to_chrome_trace();
+        let v = json::parse(&rendered).expect("valid json");
+        let events = v
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        // 2 metadata (process + one thread per track) + 4 events... the
+        // timeline uses two tracks, so 1 process + 2 thread names.
+        assert_eq!(events.len(), 3 + 4);
+        // Every event object has the mandatory keys.
+        for e in events {
+            assert!(e.get("ph").is_some(), "ph missing: {e:?}");
+            assert!(e.get("pid").is_some(), "pid missing: {e:?}");
+            assert!(e.get("tid").is_some(), "tid missing: {e:?}");
+        }
+        // Phase-specific shape: B carries name+ts, C carries args.value.
+        let b = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("B"));
+        let b = b.expect("a B event");
+        assert_eq!(b.get("name").and_then(|n| n.as_str()), Some("session"));
+        assert_eq!(b.get("ts").and_then(|t| t.as_u64()), Some(100));
+        let c = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .expect("a C event");
+        assert_eq!(
+            c.get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(|v| v.as_u64()),
+            Some(17)
+        );
+    }
+
+    #[test]
+    fn multi_process_trace_assigns_distinct_pids() {
+        let a = demo_timeline();
+        let b = demo_timeline();
+        let rendered = chrome_trace(&[("socialtube", &a), ("nettube", &b)]);
+        let v = json::parse(&rendered).expect("valid json");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let pids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(|p| p.as_u64()))
+            .collect();
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn jsonl_has_one_valid_object_per_event() {
+        let t = demo_timeline();
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), t.events().len());
+        for line in lines {
+            let v = json::parse(line).expect("valid json line");
+            assert!(v.get("ts_us").is_some());
+            assert!(v.get("track").is_some());
+        }
+    }
+}

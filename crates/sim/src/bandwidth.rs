@@ -32,14 +32,21 @@ impl FifoLink {
 
     /// Enqueues a transfer of `bits` at time `now`; returns completion time.
     fn transfer(&mut self, now: SimTime, bits: u64) -> SimTime {
+        self.transfer_timed(now, bits).0
+    }
+
+    /// Like [`transfer`](FifoLink::transfer), also returning the queueing
+    /// delay this transfer waited behind earlier ones.
+    fn transfer_timed(&mut self, now: SimTime, bits: u64) -> (SimTime, SimDuration) {
         let start = now.max(self.busy_until);
         let service = SimDuration::from_secs_f64(bits as f64 / self.capacity_bps as f64);
         let done = start + service;
-        self.queued_time += start.duration_since(now);
+        let waited = start.duration_since(now);
+        self.queued_time += waited;
         self.busy_until = done;
         self.bits_served += bits;
         self.transfers += 1;
-        done
+        (done, waited)
     }
 
     /// Queueing delay a transfer arriving at `now` would experience.
@@ -89,6 +96,13 @@ impl ServerQueue {
     /// transfer completes (including any queueing behind earlier requests).
     pub fn serve(&mut self, now: SimTime, bits: u64) -> SimTime {
         self.link.transfer(now, bits)
+    }
+
+    /// Like [`serve`](ServerQueue::serve), also returning the queueing
+    /// delay this transfer waited behind earlier ones (the per-chunk
+    /// bandwidth-queue wait instrumentation observes).
+    pub fn serve_timed(&mut self, now: SimTime, bits: u64) -> (SimTime, SimDuration) {
+        self.link.transfer_timed(now, bits)
     }
 
     /// Current backlog a new request arriving at `now` would wait behind.
@@ -159,6 +173,16 @@ impl UploadScheduler {
     /// Panics if `node` is out of range.
     pub fn upload(&mut self, node: usize, now: SimTime, bits: u64) -> SimTime {
         self.links[node].transfer(now, bits)
+    }
+
+    /// Like [`upload`](UploadScheduler::upload), also returning the
+    /// queueing delay this transfer waited on `node`'s link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn upload_timed(&mut self, node: usize, now: SimTime, bits: u64) -> (SimTime, SimDuration) {
+        self.links[node].transfer_timed(now, bits)
     }
 
     /// Backlog on `node`'s upload link at `now`.

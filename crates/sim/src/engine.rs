@@ -47,6 +47,8 @@ pub struct Engine<E> {
     /// True once [`next_event`](Engine::next_event) refused to deliver
     /// because the budget was spent.
     budget_exhausted: bool,
+    /// Largest queue depth ever reached (event-queue pressure metric).
+    peak_pending: usize,
 }
 
 impl<E> Engine<E> {
@@ -59,6 +61,7 @@ impl<E> Engine<E> {
             horizon: None,
             event_budget: None,
             budget_exhausted: false,
+            peak_pending: 0,
         }
     }
 
@@ -83,6 +86,13 @@ impl<E> Engine<E> {
     /// Returns the number of pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Returns the largest queue depth the engine ever held — the
+    /// event-queue pressure number instrumentation folds into its
+    /// queue-depth histogram at drain.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
     }
 
     /// Returns the configured end-of-simulation horizon, if any.
@@ -128,6 +138,7 @@ impl<E> Engine<E> {
             }
         }
         self.queue.push(at, event);
+        self.peak_pending = self.peak_pending.max(self.queue.len());
     }
 
     /// Schedules `event` after `delay` from the current time.
@@ -268,6 +279,19 @@ mod tests {
         }
         assert_eq!(n, 4);
         assert!(!e.budget_exhausted());
+    }
+
+    #[test]
+    fn peak_pending_tracks_high_water_mark() {
+        let mut e: Engine<u8> = Engine::new();
+        assert_eq!(e.peak_pending(), 0);
+        for i in 0..3 {
+            e.schedule_at(SimTime::from_micros(i), i as u8);
+        }
+        assert_eq!(e.peak_pending(), 3);
+        while e.next_event().is_some() {}
+        // Draining does not lower the high-water mark.
+        assert_eq!(e.peak_pending(), 3);
     }
 
     #[test]
