@@ -1,12 +1,12 @@
 //! NetTube: per-video overlays with session caching and random-neighbor
 //! prefetching (Cheng & Liu, INFOCOM'09).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 use socialtube::{
     ChunkSource, LinkKind, Message, Outbox, PeerAddr, QueryScope, Report, RequestId, SearchPhase,
-    ServerOutbox, TimerKind, TransferKind, VideoCache, VodPeer, VodServer,
+    ServerOutbox, TimerKind, TransferKind, VecMap, VideoCache, VodPeer, VodServer,
 };
 use socialtube_model::{Catalog, NodeId, VideoId};
 use socialtube_sim::{SimDuration, SimRng, SimTime};
@@ -98,13 +98,23 @@ pub struct NetTubePeer {
     /// Per-video overlay links: `(neighbor, video)` pairs. Intentionally not
     /// deduplicated by neighbor — each pair is a link in one overlay.
     links: Vec<(NodeId, VideoId)>,
+    /// First-occurrence dedup of `links`, rebuilt lazily after link churn:
+    /// query floods read it on every hop, links change orders of magnitude
+    /// less often.
+    distinct_cache: Vec<NodeId>,
+    distinct_dirty: bool,
     cache: VideoCache,
-    neighbor_digests: HashMap<NodeId, Vec<VideoId>>,
+    /// Latest cache digest per overlay neighbor; the slice is shared with
+    /// the message that carried it (digests are immutable snapshots).
+    neighbor_digests: VecMap<NodeId, Arc<[VideoId]>>,
 
-    searches: HashMap<RequestId, Search>,
+    searches: VecMap<RequestId, Search>,
+    /// Hash-based mirror of `seen_order` for O(1) duplicate checks: unlike
+    /// SocialTube's 8-entry window, NetTube's spans 512 ids — too long to
+    /// scan per delivered query.
     seen_queries: HashSet<RequestId>,
     seen_order: VecDeque<RequestId>,
-    pending_probes: HashMap<u64, NodeId>,
+    pending_probes: VecMap<u64, NodeId>,
     /// Whether this session's initial server-directed join happened.
     /// NetTube asks the server for overlay providers only on the *first*
     /// request; later flood misses are served by the server directly
@@ -126,12 +136,14 @@ impl NetTubePeer {
             rng,
             online: false,
             links: Vec::new(),
+            distinct_cache: Vec::new(),
+            distinct_dirty: false,
             cache,
-            neighbor_digests: HashMap::new(),
-            searches: HashMap::new(),
+            neighbor_digests: VecMap::new(),
+            searches: VecMap::new(),
             seen_queries: HashSet::new(),
             seen_order: VecDeque::new(),
-            pending_probes: HashMap::new(),
+            pending_probes: VecMap::new(),
             joined_session: false,
             next_request: 0,
             next_nonce: 0,
@@ -145,12 +157,28 @@ impl NetTubePeer {
 
     /// Distinct neighbor nodes across all per-video overlays.
     pub fn distinct_neighbors(&self) -> Vec<NodeId> {
-        let mut seen = HashSet::new();
-        self.links
-            .iter()
-            .filter(|(n, _)| seen.insert(*n))
-            .map(|(n, _)| *n)
-            .collect()
+        let mut nodes = Vec::with_capacity(self.links.len());
+        for (n, _) in &self.links {
+            if !nodes.contains(n) {
+                nodes.push(*n);
+            }
+        }
+        nodes
+    }
+
+    /// Rebuilds `distinct_cache` if link churn invalidated it. Keeps the
+    /// same first-occurrence order as [`Self::distinct_neighbors`].
+    fn refresh_distinct(&mut self) {
+        if !self.distinct_dirty {
+            return;
+        }
+        self.distinct_cache.clear();
+        for (n, _) in &self.links {
+            if !self.distinct_cache.contains(n) {
+                self.distinct_cache.push(*n);
+            }
+        }
+        self.distinct_dirty = false;
     }
 
     fn fresh_request(&mut self) -> RequestId {
@@ -206,11 +234,13 @@ impl NetTubePeer {
             return false;
         }
         self.links.push((neighbor, video));
+        self.distinct_dirty = true;
         true
     }
 
     fn remove_node_links(&mut self, neighbor: NodeId) {
         self.links.retain(|(n, _)| *n != neighbor);
+        self.distinct_dirty = true;
         self.neighbor_digests.remove(&neighbor);
     }
 
@@ -485,7 +515,11 @@ impl VodPeer for NetTubePeer {
                     PeerAddr::Peer(n) => Some(n),
                     PeerAddr::Server => None,
                 };
-                for t in self.distinct_neighbors() {
+                // The flood is the hottest path in the simulation: read the
+                // lazily-maintained dedup instead of allocating (or
+                // re-deriving) a target list per delivered query.
+                self.refresh_distinct();
+                for &t in &self.distinct_cache {
                     if Some(t) == sender || t == origin {
                         continue;
                     }
@@ -552,7 +586,7 @@ impl VodPeer for NetTubePeer {
                 }
                 if let Some(id) = search_id {
                     if let Some(search) = self.searches.get_mut(&id) {
-                        search.candidates = contacts;
+                        search.candidates = contacts.to_vec();
                         search.candidates.reverse(); // pop() in server order
                     }
                     self.try_candidate(id, out);
@@ -806,7 +840,7 @@ impl VodPeer for NetTubePeer {
                 // which SocialTube's popularity-based choice improves on.
                 let mut pool: Vec<(NodeId, VideoId)> = Vec::new();
                 for (n, vids) in &self.neighbor_digests {
-                    for v in vids {
+                    for v in vids.iter() {
                         if !self.cache.has_first_chunk(*v) {
                             pool.push((*n, *v));
                         }
@@ -865,7 +899,9 @@ impl VodPeer for NetTubePeer {
 #[derive(Debug)]
 pub struct NetTubeServer {
     catalog: Arc<Catalog>,
-    overlays: HashMap<VideoId, Vec<NodeId>>,
+    /// Per-video overlay membership, indexed densely by video id (video
+    /// ids are contiguous in the catalog).
+    overlays: Vec<Vec<NodeId>>,
     contacts_per_join: usize,
     rng: SimRng,
 }
@@ -873,9 +909,10 @@ pub struct NetTubeServer {
 impl NetTubeServer {
     /// Creates a server over `catalog`.
     pub fn new(catalog: Arc<Catalog>, rng: SimRng) -> Self {
+        let videos = catalog.video_count();
         Self {
             catalog,
-            overlays: HashMap::new(),
+            overlays: vec![Vec::new(); videos],
             contacts_per_join: NetTubeConfig::default().links_per_video,
             rng,
         }
@@ -883,7 +920,7 @@ impl NetTubeServer {
 
     /// Members of a video overlay (tests and diagnostics).
     pub fn overlay_size(&self, video: VideoId) -> usize {
-        self.overlays.get(&video).map_or(0, Vec::len)
+        self.overlays.get(video.index()).map_or(0, Vec::len)
     }
 }
 
@@ -893,22 +930,29 @@ impl VodServer for NetTubeServer {
             Message::JoinRequest { video } => {
                 let members: Vec<NodeId> = self
                     .overlays
-                    .get(&video)
+                    .get(video.index())
                     .map(|m| m.iter().copied().filter(|n| *n != from).collect())
                     .unwrap_or_default();
                 let contacts = self.rng.pick_distinct(&members, self.contacts_per_join);
-                out.to_peer(from, Message::OverlayContacts { video, contacts });
+                out.to_peer(
+                    from,
+                    Message::OverlayContacts {
+                        video,
+                        contacts: contacts.into(),
+                    },
+                );
             }
 
             Message::WatchStarted { video } => {
-                let members = self.overlays.entry(video).or_default();
-                if !members.contains(&from) {
-                    members.push(from);
+                if let Some(members) = self.overlays.get_mut(video.index()) {
+                    if !members.contains(&from) {
+                        members.push(from);
+                    }
                 }
             }
 
             Message::LogOff => {
-                for members in self.overlays.values_mut() {
+                for members in &mut self.overlays {
                     members.retain(|n| *n != from);
                 }
             }
@@ -933,7 +977,7 @@ impl VodServer for NetTubeServer {
     }
 
     fn tracked_entries(&self) -> usize {
-        self.overlays.values().map(Vec::len).sum()
+        self.overlays.iter().map(Vec::len).sum()
     }
 }
 
@@ -1025,7 +1069,7 @@ mod tests {
             PeerAddr::Server,
             Message::OverlayContacts {
                 video: vids[0],
-                contacts: vec![],
+                contacts: vec![].into(),
             },
             &mut out,
         );
@@ -1050,7 +1094,7 @@ mod tests {
             PeerAddr::Server,
             Message::OverlayContacts {
                 video: vids[0],
-                contacts: vec![NodeId::new(1), NodeId::new(2)],
+                contacts: vec![NodeId::new(1), NodeId::new(2)].into(),
             },
             &mut out,
         );
@@ -1178,7 +1222,7 @@ mod tests {
             SimTime::ZERO,
             PeerAddr::Peer(NodeId::new(9)),
             Message::CacheDigest {
-                videos: vec![vids[1], vids[2]],
+                videos: vec![vids[1], vids[2]].into(),
             },
             &mut out,
         );
@@ -1214,7 +1258,7 @@ mod tests {
             SimTime::ZERO,
             PeerAddr::Peer(NodeId::new(9)),
             Message::CacheDigest {
-                videos: vec![vids[1]],
+                videos: vec![vids[1]].into(),
             },
             &mut out,
         );

@@ -1,12 +1,11 @@
 //! PA-VoD: peer-assisted VoD with server-directed, currently-watching
 //! providers and no persistent cache.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use socialtube::{
     ChunkSource, Message, Outbox, PeerAddr, Report, RequestId, SearchPhase, ServerOutbox,
-    TimerKind, TransferKind, VodPeer, VodServer,
+    TimerKind, TransferKind, VecMap, VodPeer, VodServer,
 };
 use socialtube_model::{Catalog, NodeId, VideoId};
 use socialtube_sim::{SimDuration, SimRng, SimTime};
@@ -62,7 +61,7 @@ pub struct PaVodPeer {
     online: bool,
     /// The video currently held (id, chunks downloaded).
     holding: Option<(VideoId, u32)>,
-    transfers: HashMap<RequestId, Transfer>,
+    transfers: VecMap<RequestId, Transfer>,
     next_request: u32,
 }
 
@@ -75,7 +74,7 @@ impl PaVodPeer {
             config,
             online: false,
             holding: None,
-            transfers: HashMap::new(),
+            transfers: VecMap::new(),
             next_request: 0,
         }
     }
@@ -195,7 +194,7 @@ impl VodPeer for PaVodPeer {
                 if t.provider.is_some() || t.went_to_server {
                     return;
                 }
-                t.candidates = providers;
+                t.candidates = providers.to_vec();
                 t.candidates.truncate(self.config.providers_per_lookup);
                 t.candidates.reverse(); // pop() tries them in server order
                 self.try_next_candidate(id, out);
@@ -337,8 +336,9 @@ impl VodPeer for PaVodPeer {
 #[derive(Debug)]
 pub struct PaVodServer {
     catalog: Arc<Catalog>,
-    /// Peers currently holding (fully downloaded, still watching) a video.
-    watching: HashMap<VideoId, Vec<NodeId>>,
+    /// Peers currently holding (fully downloaded, still watching) a video,
+    /// indexed densely by video id (video ids are contiguous).
+    watching: Vec<Vec<NodeId>>,
     providers_per_lookup: usize,
     rng: SimRng,
 }
@@ -346,9 +346,10 @@ pub struct PaVodServer {
 impl PaVodServer {
     /// Creates a server over `catalog`.
     pub fn new(catalog: Arc<Catalog>, rng: SimRng) -> Self {
+        let videos = catalog.video_count();
         Self {
             catalog,
-            watching: HashMap::new(),
+            watching: vec![Vec::new(); videos],
             providers_per_lookup: PaVodConfig::default().providers_per_lookup,
             rng,
         }
@@ -356,7 +357,7 @@ impl PaVodServer {
 
     /// Current provider count for `video` (tests and diagnostics).
     pub fn providers_of(&self, video: VideoId) -> usize {
-        self.watching.get(&video).map_or(0, Vec::len)
+        self.watching.get(video.index()).map_or(0, Vec::len)
     }
 }
 
@@ -366,7 +367,7 @@ impl VodServer for PaVodServer {
             Message::ProviderLookup { id, video } => {
                 let candidates: Vec<NodeId> = self
                     .watching
-                    .get(&video)
+                    .get(video.index())
                     .map(|v| v.iter().copied().filter(|n| *n != from).collect())
                     .unwrap_or_default();
                 let providers = self
@@ -377,26 +378,27 @@ impl VodServer for PaVodServer {
                     Message::ProviderList {
                         id,
                         video,
-                        providers,
+                        providers: providers.into(),
                     },
                 );
             }
 
             Message::WatchStarted { video } => {
-                let watchers = self.watching.entry(video).or_default();
-                if !watchers.contains(&from) {
-                    watchers.push(from);
+                if let Some(watchers) = self.watching.get_mut(video.index()) {
+                    if !watchers.contains(&from) {
+                        watchers.push(from);
+                    }
                 }
             }
 
             Message::WatchStopped { video } => {
-                if let Some(watchers) = self.watching.get_mut(&video) {
+                if let Some(watchers) = self.watching.get_mut(video.index()) {
                     watchers.retain(|n| *n != from);
                 }
             }
 
             Message::LogOff => {
-                for watchers in self.watching.values_mut() {
+                for watchers in &mut self.watching {
                     watchers.retain(|n| *n != from);
                 }
             }
@@ -419,7 +421,7 @@ impl VodServer for PaVodServer {
     }
 
     fn tracked_entries(&self) -> usize {
-        self.watching.values().map(Vec::len).sum()
+        self.watching.iter().map(Vec::len).sum()
     }
 }
 
@@ -474,7 +476,7 @@ mod tests {
             Message::ProviderList {
                 id,
                 video: v,
-                providers: vec![],
+                providers: vec![].into(),
             },
             &mut out,
         );
@@ -498,7 +500,7 @@ mod tests {
             Message::ProviderList {
                 id,
                 video: v,
-                providers: vec![NodeId::new(1), NodeId::new(2)],
+                providers: vec![NodeId::new(1), NodeId::new(2)].into(),
             },
             &mut out,
         );

@@ -75,7 +75,7 @@ fn bench_query_forwarding(c: &mut Criterion) {
                 query,
                 &mut out,
             );
-            black_box(out.drain())
+            black_box(out.drain().count())
         })
     });
 }
@@ -114,7 +114,7 @@ fn bench_chunk_serving(c: &mut Criterion) {
                 },
                 &mut out,
             );
-            black_box(out.drain())
+            black_box(out.drain().count())
         })
     });
 }
@@ -143,7 +143,7 @@ fn bench_prefetch_decision(c: &mut Criterion) {
     c.bench_function("protocol/prefetch_kick", |b| {
         b.iter(|| {
             peer.on_timer(SimTime::ZERO, TimerKind::PrefetchKick, &mut out);
-            black_box(out.drain())
+            black_box(out.drain().count())
         })
     });
 }

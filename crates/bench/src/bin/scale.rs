@@ -1,0 +1,140 @@
+//! Scale benchmark: one large single-threaded SocialTube run through the
+//! calendar event queue, with a machine-readable report and an optional
+//! throughput floor.
+//!
+//! ```text
+//! cargo run --release -p socialtube-bench --bin scale -- \
+//!     [--peers N] [--seed N] [--min-events-per-sec N] [--out PATH]
+//! ```
+//!
+//! Runs `configs::scale_test(peers)` (Table I per-node ratios, one short
+//! session per node) under SocialTube and writes `BENCH_scale.json` with
+//! the event count, events/second, peak RSS (`VmHWM`) and the event
+//! queue's high-water mark. The default population is 200,000 peers; runs
+//! above 500,000 require the `million` feature, which exists so the
+//! 1M-peer smoke path is a deliberate opt-in rather than an accidental
+//! half-hour CI job:
+//!
+//! ```text
+//! cargo run --release -p socialtube-bench --features million --bin scale -- \
+//!     --peers 1000000
+//! ```
+
+use std::io::Write;
+use std::time::Instant;
+
+use socialtube_experiments::{configs, Protocol, RunSpec};
+use socialtube_trace::generate_shared;
+
+/// Population ceiling without the `million` feature. Everything below this
+/// finishes in minutes on one core; the gate keeps casual invocations from
+/// wandering into hour-long territory.
+const UNGATED_MAX_PEERS: usize = 500_000;
+
+fn main() {
+    let mut peers: usize = 200_000;
+    let mut seed: u64 = 42;
+    let mut min_eps: f64 = 0.0;
+    let mut out = "BENCH_scale.json".to_string();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--peers" => peers = value("--peers").parse().expect("--peers: integer"),
+            "--seed" => seed = value("--seed").parse().expect("--seed: integer"),
+            "--min-events-per-sec" => {
+                min_eps = value("--min-events-per-sec")
+                    .parse()
+                    .expect("--min-events-per-sec: number");
+            }
+            "--out" => out = value("--out"),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if peers > UNGATED_MAX_PEERS && !cfg!(feature = "million") {
+        eprintln!(
+            "--peers {peers} exceeds {UNGATED_MAX_PEERS}; rebuild with \
+             --features million for the 1M smoke path"
+        );
+        std::process::exit(2);
+    }
+
+    let mut options = configs::scale_test(peers);
+    options.seed = seed;
+    let trace_start = Instant::now();
+    let shared = generate_shared(&options.trace, seed);
+    let trace_secs = trace_start.elapsed().as_secs_f64();
+    println!(
+        "# scale bench: {} peers, {} videos in {} channels, trace in {trace_secs:.2}s",
+        shared.graph.user_count(),
+        options.trace.videos,
+        options.trace.channels,
+    );
+
+    let spec = RunSpec::new(Protocol::SocialTube)
+        .options(options)
+        .trace(shared);
+    let start = Instant::now();
+    let outcome = spec.run();
+    let secs = start.elapsed().as_secs_f64();
+    assert!(!outcome.truncated, "scale run hit the event budget");
+
+    let eps = outcome.events as f64 / secs.max(1e-9);
+    let peak_rss = peak_rss_bytes().unwrap_or(0);
+    println!(
+        "#   socialtube: {} events in {secs:.2}s = {eps:.0} events/s, \
+         queue peak {}, peak RSS {} MiB",
+        outcome.events,
+        outcome.queue_peak,
+        peak_rss >> 20,
+    );
+
+    let json = format!(
+        r#"{{
+  "benchmark": "scale",
+  "protocol": "socialtube",
+  "peers": {peers},
+  "seed": {seed},
+  "trace_wall_clock_s": {trace_secs:.3},
+  "events": {events},
+  "wall_clock_s": {secs:.3},
+  "events_per_sec": {eps:.0},
+  "queue_peak": {queue_peak},
+  "peak_rss_bytes": {peak_rss},
+  "sim_end_s": {sim_end}
+}}
+"#,
+        events = outcome.events,
+        queue_peak = outcome.queue_peak,
+        sim_end = outcome.sim_end.as_micros() / 1_000_000,
+    );
+    let mut file = std::fs::File::create(&out).expect("create report file");
+    file.write_all(json.as_bytes()).expect("write report");
+    println!("# report written to {out}");
+
+    if min_eps > 0.0 && eps < min_eps {
+        eprintln!("scale throughput {eps:.0} events/s below the floor {min_eps:.0}");
+        std::process::exit(1);
+    }
+}
+
+/// Peak resident set size of this process, from `/proc/self/status`
+/// (`VmHWM`, reported in kB). Returns `None` off Linux or if the field is
+/// missing — the report then carries 0 rather than failing the bench.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}

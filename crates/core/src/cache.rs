@@ -1,7 +1,5 @@
 //! The per-node video cache.
 
-use std::collections::HashMap;
-
 use socialtube_model::{ChunkIndex, VideoId};
 
 /// State of one cached video.
@@ -46,7 +44,11 @@ impl CacheEntry {
 /// ```
 #[derive(Clone, Debug)]
 pub struct VideoCache {
-    entries: HashMap<VideoId, (CacheEntry, u64)>,
+    /// Cached videos sorted by id for binary search. A node caches at most
+    /// a session's worth of videos, so a sorted vec stays small, compact
+    /// and allocation-light where a hash map pays per-entry overhead on
+    /// every lookup of the chunk-transfer hot path.
+    entries: Vec<(VideoId, CacheEntry, u64)>,
     capacity: Option<usize>,
     clock: u64,
 }
@@ -55,7 +57,7 @@ impl VideoCache {
     /// A cache without a capacity bound (the paper's setting).
     pub fn unbounded() -> Self {
         Self {
-            entries: HashMap::new(),
+            entries: Vec::new(),
             capacity: None,
             clock: 0,
         }
@@ -69,7 +71,7 @@ impl VideoCache {
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         Self {
-            entries: HashMap::new(),
+            entries: Vec::new(),
             capacity: Some(capacity),
             clock: 0,
         }
@@ -95,33 +97,54 @@ impl VideoCache {
 
     /// Whether the full video is cached.
     pub fn has_full(&self, video: VideoId) -> bool {
-        self.entries.get(&video).is_some_and(|(e, _)| e.is_full())
+        self.get(video).is_some_and(|(e, _)| e.is_full())
     }
 
     /// Whether at least the first chunk is cached.
     pub fn has_first_chunk(&self, video: VideoId) -> bool {
-        self.entries.get(&video).is_some_and(|(e, _)| e.chunks >= 1)
+        self.get(video).is_some_and(|(e, _)| e.chunks >= 1)
     }
 
     /// Number of leading chunks cached for `video` (0 when absent).
     pub fn chunks_of(&self, video: VideoId) -> u32 {
-        self.entries.get(&video).map_or(0, |(e, _)| e.chunks)
+        self.get(video).map_or(0, |(e, _)| e.chunks)
+    }
+
+    fn get(&self, video: VideoId) -> Option<(CacheEntry, u64)> {
+        self.position(video)
+            .ok()
+            .map(|at| (self.entries[at].1, self.entries[at].2))
+    }
+
+    fn position(&self, video: VideoId) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&video, |(v, _, _)| *v)
+    }
+
+    /// Upserts `video`, applying `update` to its entry (a fresh `(0 chunks,
+    /// total)` entry for a new video) and stamping the LRU clock.
+    fn upsert(&mut self, video: VideoId, total: u32, update: impl FnOnce(&mut CacheEntry)) {
+        let clock = self.clock;
+        match self.position(video) {
+            Ok(at) => {
+                update(&mut self.entries[at].1);
+                self.entries[at].2 = clock;
+            }
+            Err(at) => {
+                let mut entry = CacheEntry { chunks: 0, total };
+                update(&mut entry);
+                self.entries.insert(at, (video, entry, clock));
+            }
+        }
     }
 
     /// Inserts (or upgrades to) a fully cached video with `total` chunks,
     /// marking it used at logical time `used_at`.
     pub fn insert_full(&mut self, video: VideoId, total: u32, used_at: u64) {
         self.touch_clock(used_at);
-        self.entries.insert(
-            video,
-            (
-                CacheEntry {
-                    chunks: total,
-                    total,
-                },
-                self.clock,
-            ),
-        );
+        self.upsert(video, total, |e| {
+            e.chunks = total;
+            e.total = total;
+        });
         self.evict_if_needed(video);
     }
 
@@ -129,24 +152,14 @@ impl VideoCache {
     /// already cached.
     pub fn insert_first_chunk(&mut self, video: VideoId, total: u32, used_at: u64) {
         self.touch_clock(used_at);
-        let entry = self
-            .entries
-            .entry(video)
-            .or_insert((CacheEntry { chunks: 0, total }, 0));
-        entry.0.chunks = entry.0.chunks.max(1);
-        entry.1 = self.clock;
+        self.upsert(video, total, |e| e.chunks = e.chunks.max(1));
         self.evict_if_needed(video);
     }
 
     /// Records that chunks `0..=chunk` of `video` are now present.
     pub fn record_chunk(&mut self, video: VideoId, chunk: ChunkIndex, total: u32, used_at: u64) {
         self.touch_clock(used_at);
-        let entry = self
-            .entries
-            .entry(video)
-            .or_insert((CacheEntry { chunks: 0, total }, 0));
-        entry.0.chunks = entry.0.chunks.max(chunk + 1);
-        entry.1 = self.clock;
+        self.upsert(video, total, |e| e.chunks = e.chunks.max(chunk + 1));
         self.evict_if_needed(video);
     }
 
@@ -154,22 +167,29 @@ impl VideoCache {
     pub fn touch(&mut self, video: VideoId, used_at: u64) {
         self.touch_clock(used_at);
         let clock = self.clock;
-        if let Some(entry) = self.entries.get_mut(&video) {
-            entry.1 = clock;
+        if let Ok(at) = self.position(video) {
+            self.entries[at].2 = clock;
         }
     }
 
     /// Removes `video` from the cache. Returns `true` if it was present.
     pub fn remove(&mut self, video: VideoId) -> bool {
-        self.entries.remove(&video).is_some()
+        match self.position(video) {
+            Ok(at) => {
+                self.entries.remove(at);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
-    /// Iterates over fully cached videos (potential provider inventory).
+    /// Iterates over fully cached videos (potential provider inventory),
+    /// in ascending id order.
     pub fn full_videos(&self) -> impl Iterator<Item = VideoId> + '_ {
         self.entries
             .iter()
-            .filter(|(_, (e, _))| e.is_full())
-            .map(|(v, _)| *v)
+            .filter(|(_, e, _)| e.is_full())
+            .map(|(v, _, _)| *v)
     }
 
     fn touch_clock(&mut self, used_at: u64) {
@@ -184,12 +204,12 @@ impl VideoCache {
             let victim = self
                 .entries
                 .iter()
-                .filter(|(v, _)| **v != just_inserted)
-                .min_by_key(|(_, (_, used))| *used)
-                .map(|(v, _)| *v);
+                .filter(|(v, _, _)| *v != just_inserted)
+                .min_by_key(|(_, _, used)| *used)
+                .map(|(v, _, _)| *v);
             match victim {
                 Some(v) => {
-                    self.entries.remove(&v);
+                    self.remove(v);
                 }
                 None => break,
             }

@@ -71,6 +71,7 @@ mod neighbors;
 mod peer;
 mod server;
 mod traits;
+mod vecmap;
 
 pub use cache::{CacheEntry, VideoCache};
 pub use config::SocialTubeConfig;
@@ -82,3 +83,4 @@ pub use traits::{
     ChunkSource, Command, Outbox, Report, SearchPhase, ServerCommand, ServerOutbox, TimerKind,
     TransferKind, VodPeer, VodServer,
 };
+pub use vecmap::VecMap;

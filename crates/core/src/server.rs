@@ -4,7 +4,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use socialtube_model::{Catalog, ChannelId, NodeId};
+use socialtube_model::{Catalog, ChannelId, NodeId, VideoId};
 use socialtube_sim::{SimRng, SimTime};
 
 use crate::messages::Message;
@@ -25,10 +25,16 @@ use crate::traits::{Report, ServerOutbox, TransferKind, VodServer};
 #[derive(Debug)]
 pub struct SocialTubeServer {
     catalog: Arc<Catalog>,
-    /// Channels each known node subscribes to (latest report).
-    subscriptions: HashMap<NodeId, Vec<ChannelId>>,
-    /// Online subscribers per channel — the joinable channel overlays.
-    members: HashMap<ChannelId, Vec<NodeId>>,
+    /// Channels each known node subscribes to (latest report, shared with
+    /// the peer's own copy — subscription sets are immutable once sent).
+    subscriptions: HashMap<NodeId, Arc<[ChannelId]>>,
+    /// Online subscribers per channel — the joinable channel overlays,
+    /// indexed densely by channel id (channel ids are contiguous).
+    members: Vec<Vec<NodeId>>,
+    /// Lazily built per-channel popularity rankings, shared across every
+    /// digest sent for the channel (the catalog is immutable, so rankings
+    /// never change within a run).
+    popularity: Vec<Option<Arc<[VideoId]>>>,
     online: HashSet<NodeId>,
     /// Maximum category contacts returned on join (the joining node's
     /// inter-link budget; paper `N_h` = 10).
@@ -43,10 +49,12 @@ impl SocialTubeServer {
     /// Creates a server over `catalog` with deterministic contact selection
     /// seeded by `rng`.
     pub fn new(catalog: Arc<Catalog>, rng: SimRng) -> Self {
+        let channels = catalog.channel_count();
         Self {
             catalog,
             subscriptions: HashMap::new(),
-            members: HashMap::new(),
+            members: vec![Vec::new(); channels],
+            popularity: vec![None; channels],
             online: HashSet::new(),
             max_category_contacts: 10,
             max_channel_contacts: 5,
@@ -71,7 +79,10 @@ impl SocialTubeServer {
 
     /// Online members of `channel`'s overlay (tests and diagnostics).
     pub fn channel_members(&self, channel: ChannelId) -> &[NodeId] {
-        self.members.get(&channel).map(Vec::as_slice).unwrap_or(&[])
+        self.members
+            .get(channel.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     fn pick_member(&mut self, channel: ChannelId, exclude: NodeId) -> Option<NodeId> {
@@ -79,7 +90,7 @@ impl SocialTubeServer {
     }
 
     fn pick_members(&mut self, channel: ChannelId, exclude: NodeId, n: usize) -> Vec<NodeId> {
-        let Some(members) = self.members.get(&channel) else {
+        let Some(members) = self.members.get(channel.index()) else {
             return Vec::new();
         };
         let candidates: Vec<NodeId> = members.iter().copied().filter(|m| *m != exclude).collect();
@@ -87,16 +98,24 @@ impl SocialTubeServer {
     }
 
     fn add_member(&mut self, channel: ChannelId, node: NodeId) {
-        let members = self.members.entry(channel).or_default();
+        let members = &mut self.members[channel.index()];
         if !members.contains(&node) {
             members.push(node);
         }
     }
 
     fn remove_everywhere(&mut self, node: NodeId) {
-        for members in self.members.values_mut() {
+        for members in &mut self.members {
             members.retain(|n| *n != node);
         }
+    }
+
+    /// The channel's popularity ranking, computed once and shared by every
+    /// digest sent afterwards.
+    fn ranked(&mut self, channel: ChannelId) -> Arc<[VideoId]> {
+        self.popularity[channel.index()]
+            .get_or_insert_with(|| self.catalog.channel_videos_by_popularity(channel).into())
+            .clone()
     }
 }
 
@@ -107,17 +126,18 @@ impl VodServer for SocialTubeServer {
                 self.online.insert(from);
                 // Re-home the node's memberships to the new subscription set.
                 self.remove_everywhere(from);
-                for ch in &subscribed {
-                    self.add_member(*ch, from);
+                for ch in subscribed.iter().copied() {
+                    self.add_member(ch, from);
                     // Publish the channel's popularity ranking so the node
                     // can prefetch (Section IV-B: "the server provides the
                     // popularities of videos in each channel to its
                     // subscribers periodically").
+                    let ranked = self.ranked(ch);
                     out.to_peer(
                         from,
                         Message::PopularityDigest {
-                            channel: *ch,
-                            ranked: self.catalog.channel_videos_by_popularity(*ch),
+                            channel: ch,
+                            ranked,
                         },
                     );
                 }
@@ -176,19 +196,14 @@ impl VodServer for SocialTubeServer {
                     from,
                     Message::JoinResponse {
                         video,
-                        channel_contacts,
-                        category_contacts,
+                        channel_contacts: channel_contacts.into(),
+                        category_contacts: category_contacts.into(),
                     },
                 );
                 // Non-subscribers still receive the digest of the channel
                 // they are watching so prefetching can work there.
-                out.to_peer(
-                    from,
-                    Message::PopularityDigest {
-                        channel,
-                        ranked: self.catalog.channel_videos_by_popularity(channel),
-                    },
-                );
+                let ranked = self.ranked(channel);
+                out.to_peer(from, Message::PopularityDigest { channel, ranked });
             }
 
             Message::VideoRequest {
@@ -213,7 +228,7 @@ impl VodServer for SocialTubeServer {
     }
 
     fn tracked_entries(&self) -> usize {
-        self.members.values().map(Vec::len).sum()
+        self.members.iter().map(Vec::len).sum()
     }
 }
 
@@ -246,7 +261,9 @@ mod tests {
         s.on_message(
             SimTime::ZERO,
             NodeId::new(node),
-            Message::SubscriptionUpdate { subscribed: subs },
+            Message::SubscriptionUpdate {
+                subscribed: subs.into(),
+            },
             out,
         );
     }
@@ -294,7 +311,7 @@ mod tests {
                 _ => None,
             })
             .expect("join response");
-        assert_eq!(response, vec![NodeId::new(1)]);
+        assert_eq!(&response[..], &[NodeId::new(1)]);
     }
 
     #[test]
@@ -355,7 +372,7 @@ mod tests {
                 _ => None,
             })
             .expect("join response");
-        assert_eq!(contacts, vec![NodeId::new(1)]);
+        assert_eq!(&contacts[..], &[NodeId::new(1)]);
     }
 
     #[test]

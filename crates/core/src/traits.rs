@@ -246,7 +246,7 @@ impl Report {
 /// let mut out = Outbox::new();
 /// out.timer(SimDuration::from_secs(1), TimerKind::ProbeTick);
 /// assert_eq!(out.commands().len(), 1);
-/// let drained = out.drain();
+/// let drained: Vec<Command> = out.drain().collect();
 /// assert!(matches!(drained[0], Command::Timer { .. }));
 /// ```
 #[derive(Debug, Default)]
@@ -285,9 +285,12 @@ impl Outbox {
         &self.commands
     }
 
-    /// Takes all queued commands, leaving the outbox empty.
-    pub fn drain(&mut self) -> Vec<Command> {
-        std::mem::take(&mut self.commands)
+    /// Drains all queued commands, leaving the outbox empty.
+    ///
+    /// The backing buffer's capacity is kept: one outbox is reused across
+    /// millions of events, so draining must not hand the allocation back.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Command> {
+        self.commands.drain(..)
     }
 }
 
@@ -336,9 +339,10 @@ impl ServerOutbox {
         &self.commands
     }
 
-    /// Takes all queued commands, leaving the outbox empty.
-    pub fn drain(&mut self) -> Vec<ServerCommand> {
-        std::mem::take(&mut self.commands)
+    /// Drains all queued commands, leaving the outbox empty (capacity kept,
+    /// as for [`Outbox::drain`]).
+    pub fn drain(&mut self) -> std::vec::Drain<'_, ServerCommand> {
+        self.commands.drain(..)
     }
 }
 
@@ -406,8 +410,7 @@ mod tests {
             video: VideoId::new(2),
         });
         assert_eq!(out.commands().len(), 2);
-        let drained = out.drain();
-        assert_eq!(drained.len(), 2);
+        assert_eq!(out.drain().count(), 2);
         assert!(out.commands().is_empty());
     }
 

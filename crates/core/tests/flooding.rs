@@ -517,7 +517,7 @@ mod edge_cases {
             PeerAddr::Server,
             Message::PopularityDigest {
                 channel: ch,
-                ranked: vec![vids[2], vids[1], vids[0]],
+                ranked: vec![vids[2], vids[1], vids[0]].into(),
             },
             &mut out,
         );
@@ -547,7 +547,7 @@ mod edge_cases {
             PeerAddr::Server,
             Message::PopularityDigest {
                 channel: ch,
-                ranked: vec![vids[2], vids[1], vids[0]],
+                ranked: vec![vids[2], vids[1], vids[0]].into(),
             },
             &mut out,
         );
@@ -555,7 +555,6 @@ mod edge_cases {
         p1.on_timer(SimTime::ZERO, TimerKind::PrefetchKick, &mut out);
         let queried: Vec<_> = out
             .drain()
-            .into_iter()
             .filter_map(|c| match c {
                 Command::ToPeer {
                     msg: Message::Query { video, .. },

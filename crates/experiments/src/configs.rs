@@ -161,6 +161,37 @@ pub fn smoke_test_long() -> ExperimentOptions {
     o
 }
 
+/// A throughput-oriented configuration for the `scale` bench: `peers` nodes
+/// with Table I's per-node ratios (videos and channels per node, server
+/// bandwidth per node) but a deliberately short workload — one session of
+/// three videos per node — so a 200k-peer run stays minutes, not hours,
+/// while still exercising join, search, transfer and prefetch paths.
+#[allow(clippy::field_reassign_with_default)] // config presets read best as deltas
+pub fn scale_test(peers: usize) -> ExperimentOptions {
+    let mut o = ExperimentOptions::default();
+    // Table I ratios: ~1 video per user, ~18.6 videos per channel,
+    // ≥ 4 channels and ≥ 1 category so small benches still validate.
+    let videos = peers.max(300);
+    let channels = (videos / 19).max(4);
+    let categories = (channels / 36).clamp(1, 15);
+    o.trace = TraceConfig {
+        users: peers,
+        channels,
+        categories,
+        videos,
+        ..TraceConfig::default()
+    };
+    o.workload.sessions_per_node = 1;
+    o.workload.videos_per_session = 3;
+    o.workload.mean_off = SimDuration::from_secs(60);
+    // Stagger logins across ten minutes so the event queue holds a scale-
+    // dependent working set instead of one synchronized burst.
+    o.workload.login_stagger = SimDuration::from_mins(10);
+    // 100 kbps of server capacity per peer (the Table I 1 Gbps / 10k ratio).
+    o.network.server_bandwidth_bps = (peers as u64) * 100_000;
+    o
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +235,25 @@ mod tests {
         let full_bw = full.network.server_bandwidth_bps as f64 / full.trace.users as f64;
         let scaled_bw = scaled.network.server_bandwidth_bps as f64 / scaled.trace.users as f64;
         assert!((full_bw - scaled_bw).abs() < 1.0);
+    }
+
+    #[test]
+    fn scale_test_keeps_table1_ratios() {
+        let o = scale_test(200_000);
+        assert_eq!(o.trace.users, 200_000);
+        // Videos per channel stays near the paper's ~18.6.
+        let vpc = o.trace.videos as f64 / o.trace.channels as f64;
+        assert!((vpc - 18.6).abs() < 1.0, "videos/channel = {vpc}");
+        // Server budget per user matches Table I's 100 kbps.
+        assert_eq!(
+            o.network.server_bandwidth_bps / o.trace.users as u64,
+            100_000
+        );
+        // Tiny bench sizes still produce a valid catalog shape.
+        let small = scale_test(100);
+        assert!(small.trace.channels >= 4);
+        assert!(small.trace.categories >= 1);
+        assert!(small.trace.videos >= small.trace.users);
     }
 
     #[test]

@@ -87,6 +87,11 @@ pub struct SimOutcome {
     /// (`(minute, backlog)`): the server-overload signal behind the
     /// paper's long PA-VoD startup delays.
     pub server_backlog_timeline: Vec<(u64, SimDuration)>,
+    /// High-water mark of the engine's pending-event queue — the working
+    /// set the calendar queue had to hold at once (see
+    /// `socialtube_sim::EventQueue`). The `scale` bench reports this as the
+    /// memory-pressure signal of a run.
+    pub queue_peak: usize,
     /// True if the run hit the `max_events` safety valve.
     pub truncated: bool,
     /// Metrics snapshot and optional timeline, when the spec asked for
@@ -283,6 +288,17 @@ fn run_with_catalog<R: Recorder>(
                 let depth = engine.pending() as u64;
                 rec.observe(HistKind::QueueDepth, depth);
                 rec.sample(Track::Engine, "queue_depth", now.as_micros(), depth);
+                let occupancy = engine.queue_occupancy();
+                rec.observe(
+                    HistKind::QueueBucketOccupancy,
+                    occupancy.occupied_buckets as u64,
+                );
+                rec.sample(
+                    Track::Engine,
+                    "queue_buckets",
+                    now.as_micros(),
+                    occupancy.occupied_buckets as u64,
+                );
                 rec.sample(
                     Track::Server,
                     "backlog_ms",
@@ -382,6 +398,7 @@ fn run_with_catalog<R: Recorder>(
                 uploads: &mut uploads,
                 server_queue: &mut server_queue,
                 recorder: &mut *rec,
+                delay_memo: None,
             };
             CommandInterpreter::flush_peer(actor, &mut outbox, &mut sub, |sub, report| {
                 metrics.on_report(now, report);
@@ -408,6 +425,7 @@ fn run_with_catalog<R: Recorder>(
                 uploads: &mut uploads,
                 server_queue: &mut server_queue,
                 recorder: &mut *rec,
+                delay_memo: None,
             };
             interpreter.flush_server(&mut server_outbox, &mut sub, |sub, report| {
                 metrics.on_report(now, report);
@@ -432,6 +450,7 @@ fn run_with_catalog<R: Recorder>(
         server_tracked_peak: tracked_peak,
         upload_fairness: socialtube_trace::stats::jain_fairness(&contributions),
         server_backlog_timeline,
+        queue_peak: engine.peak_pending(),
         truncated: engine.budget_exhausted(),
         recording: None,
     }
@@ -448,6 +467,15 @@ mod tests {
 
     fn smoke(protocol: Protocol) -> SimOutcome {
         run(protocol, &configs::smoke_test())
+    }
+
+    /// Pins the driver's event layout: `Ev` wraps `Message` plus addressing,
+    /// so it tracks the message size budget (see the core layout test). Every
+    /// pending event in the calendar queue holds one of these inline.
+    #[test]
+    fn event_stays_within_size_budget() {
+        // PeerMsg is the ceiling: a 40-byte Message plus addressing.
+        assert_eq!(std::mem::size_of::<Ev>(), 56);
     }
 
     #[test]

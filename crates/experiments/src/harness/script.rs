@@ -299,6 +299,7 @@ pub fn run_script_sim_recorded<R: Recorder>(
                 uploads: &mut uploads,
                 server_queue: &mut server_queue,
                 recorder: &mut *rec,
+                delay_memo: None,
             };
             CommandInterpreter::flush_peer(actor, &mut outbox, &mut sub, |sub, report| {
                 record_report(sub.recorder, now, &report);
@@ -318,6 +319,7 @@ pub fn run_script_sim_recorded<R: Recorder>(
                 uploads: &mut uploads,
                 server_queue: &mut server_queue,
                 recorder: &mut *rec,
+                delay_memo: None,
             };
             interpreter.flush_server(&mut server_outbox, &mut sub, |sub, report| {
                 record_report(sub.recorder, now, &report);

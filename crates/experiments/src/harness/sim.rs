@@ -50,6 +50,11 @@ pub struct SimSubstrate<'a, E, R = NullRecorder> {
     pub server_queue: &'a mut ServerQueue,
     /// The run's observation sink.
     pub recorder: &'a mut R,
+    /// One-entry memo over [`LatencyModel::delay`]. Chunk bursts schedule
+    /// dozens of deliveries to one destination per flush, and the model's
+    /// delay is a pure function of the pair — construct the substrate with
+    /// `None` and the first lookup warms it.
+    pub delay_memo: Option<(u32, u32, SimDuration)>,
 }
 
 impl<E, R> std::fmt::Debug for SimSubstrate<'_, E, R> {
@@ -60,9 +65,24 @@ impl<E, R> std::fmt::Debug for SimSubstrate<'_, E, R> {
     }
 }
 
+impl<E, R> SimSubstrate<'_, E, R> {
+    /// Pairwise delay through the one-entry memo (pairs are symmetric).
+    fn pair_delay(&mut self, a: u32, b: u32) -> SimDuration {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some((ca, cb, d)) = self.delay_memo {
+            if (ca, cb) == key {
+                return d;
+            }
+        }
+        let d = self.latency.delay(key.0, key.1);
+        self.delay_memo = Some((key.0, key.1, d));
+        d
+    }
+}
+
 impl<E: SimEvent, R: Recorder> PeerSubstrate for SimSubstrate<'_, E, R> {
     fn peer_control(&mut self, from: NodeId, to: NodeId, msg: Message) {
-        let arrival = self.now + self.latency.delay(from.as_u32(), to.as_u32());
+        let arrival = self.now + self.pair_delay(from.as_u32(), to.as_u32());
         self.engine
             .schedule_at(arrival, E::peer_msg(to, PeerAddr::Peer(from), msg));
     }
@@ -73,13 +93,13 @@ impl<E: SimEvent, R: Recorder> PeerSubstrate for SimSubstrate<'_, E, R> {
             self.recorder
                 .observe(HistKind::PeerUploadWaitUs, waited.as_micros());
         }
-        let arrival = ready + self.latency.delay(from.as_u32(), to.as_u32());
+        let arrival = ready + self.pair_delay(from.as_u32(), to.as_u32());
         self.engine
             .schedule_at(arrival, E::peer_msg(to, PeerAddr::Peer(from), msg));
     }
 
     fn to_server(&mut self, from: NodeId, msg: Message) {
-        let arrival = self.now + self.latency.server_delay(from.as_u32());
+        let arrival = self.now + self.pair_delay(from.as_u32(), LatencyModel::SERVER);
         self.engine.schedule_at(arrival, E::server_msg(from, msg));
     }
 
@@ -90,7 +110,7 @@ impl<E: SimEvent, R: Recorder> PeerSubstrate for SimSubstrate<'_, E, R> {
 
 impl<E: SimEvent, R: Recorder> ServerSubstrate for SimSubstrate<'_, E, R> {
     fn server_control(&mut self, to: NodeId, msg: Message) {
-        let arrival = self.now + self.latency.server_delay(to.as_u32());
+        let arrival = self.now + self.pair_delay(to.as_u32(), LatencyModel::SERVER);
         self.engine
             .schedule_at(arrival, E::peer_msg(to, PeerAddr::Server, msg));
     }
@@ -101,7 +121,7 @@ impl<E: SimEvent, R: Recorder> ServerSubstrate for SimSubstrate<'_, E, R> {
             self.recorder
                 .observe(HistKind::ServerQueueWaitUs, waited.as_micros());
         }
-        let arrival = ready + self.latency.server_delay(to.as_u32());
+        let arrival = ready + self.pair_delay(to.as_u32(), LatencyModel::SERVER);
         self.engine
             .schedule_at(arrival, E::peer_msg(to, PeerAddr::Server, msg));
     }
@@ -159,6 +179,7 @@ mod tests {
                 uploads: &mut self.uploads,
                 server_queue: &mut self.server_queue,
                 recorder: &mut self.recorder,
+                delay_memo: None,
             }
         }
     }

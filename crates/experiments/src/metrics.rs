@@ -29,8 +29,11 @@ pub struct MetricsCollector {
     server_fallbacks: u64,
     origin_serves: u64,
     prefetch_bits: u64,
-    /// Traffic per simulated minute: minute → (peer bits, server bits).
-    timeline: BTreeMap<u64, (u64, u64)>,
+    /// Traffic per simulated minute as `(minute, peer bits, server bits)`.
+    /// Append-only: reports arrive in virtual-time order, so the active
+    /// minute is always the last element — a chunk report touches it in
+    /// O(1) instead of paying a map lookup on the hottest report kind.
+    timeline: Vec<(u64, u64, u64)>,
 }
 
 impl MetricsCollector {
@@ -47,8 +50,21 @@ impl MetricsCollector {
             server_fallbacks: 0,
             origin_serves: 0,
             prefetch_bits: 0,
-            timeline: BTreeMap::new(),
+            timeline: Vec::new(),
         }
+    }
+
+    /// The timeline bucket for `minute`, appending it if new. Virtual time
+    /// never goes backwards, so earlier buckets are immutable history.
+    fn timeline_bucket(&mut self, minute: u64) -> &mut (u64, u64, u64) {
+        match self.timeline.last() {
+            Some(last) if last.0 == minute => {}
+            _ => {
+                debug_assert!(self.timeline.last().is_none_or(|l| l.0 < minute));
+                self.timeline.push((minute, 0, 0));
+            }
+        }
+        self.timeline.last_mut().expect("bucket just ensured")
     }
 
     /// Ingests one protocol report delivered at `now`.
@@ -84,11 +100,11 @@ impl MetricsCollector {
                 match source {
                     ChunkSource::Peer => {
                         self.add_bits(node, bits, true);
-                        self.timeline.entry(minute).or_insert((0, 0)).0 += bits;
+                        self.timeline_bucket(minute).1 += bits;
                     }
                     ChunkSource::Server => {
                         self.add_bits(node, bits, false);
-                        self.timeline.entry(minute).or_insert((0, 0)).1 += bits;
+                        self.timeline_bucket(minute).2 += bits;
                     }
                     ChunkSource::Cache | ChunkSource::Prefetched => {}
                 }
@@ -140,10 +156,7 @@ impl MetricsCollector {
     /// server_bits)` — shows the P2P overlay relieving the origin as
     /// caches warm (an extension beyond the paper's aggregate Fig 16).
     pub fn traffic_timeline(&self) -> Vec<(u64, u64, u64)> {
-        self.timeline
-            .iter()
-            .map(|(m, (p, s))| (*m, *p, *s))
-            .collect()
+        self.timeline.clone()
     }
 
     /// Average maintained links per videos-watched bucket (Fig 18 series).

@@ -349,7 +349,7 @@ fn encode_message(msg: &Message, buf: &mut BytesMut) {
         Message::SubscriptionUpdate { subscribed } => {
             buf.put_u8(17);
             buf.put_u32(subscribed.len() as u32);
-            for c in subscribed {
+            for c in subscribed.iter() {
                 buf.put_u32(c.as_u32());
             }
         }
@@ -440,7 +440,7 @@ fn decode_message(r: &mut Reader<'_>) -> Result<Message, WireError> {
         9 => Message::ProbeAck { nonce: r.u64()? },
         10 => Message::Leave,
         11 => Message::CacheDigest {
-            videos: r.videos()?,
+            videos: r.videos()?.into(),
         },
         12 => Message::JoinRequest { video: r.video()? },
         13 => Message::VideoRequest {
@@ -464,26 +464,28 @@ fn decode_message(r: &mut Reader<'_>) -> Result<Message, WireError> {
             for _ in 0..n {
                 subscribed.push(ChannelId::new(r.u32()?));
             }
-            Message::SubscriptionUpdate { subscribed }
+            Message::SubscriptionUpdate {
+                subscribed: subscribed.into(),
+            }
         }
         18 => Message::LogOff,
         19 => Message::JoinResponse {
             video: r.video()?,
-            channel_contacts: r.nodes()?,
-            category_contacts: r.nodes()?,
+            channel_contacts: r.nodes()?.into(),
+            category_contacts: r.nodes()?.into(),
         },
         20 => Message::OverlayContacts {
             video: r.video()?,
-            contacts: r.nodes()?,
+            contacts: r.nodes()?.into(),
         },
         21 => Message::ProviderList {
             id: RequestId(r.u64()?),
             video: r.video()?,
-            providers: r.nodes()?,
+            providers: r.nodes()?.into(),
         },
         22 => Message::PopularityDigest {
             channel: ChannelId::new(r.u32()?),
-            ranked: r.videos()?,
+            ranked: r.videos()?.into(),
         },
         t => return Err(WireError::UnknownTag(t)),
     })
@@ -580,7 +582,7 @@ mod tests {
             Message::ProbeAck { nonce: 0 },
             Message::Leave,
             Message::CacheDigest {
-                videos: vec![VideoId::new(1), VideoId::new(2)],
+                videos: vec![VideoId::new(1), VideoId::new(2)].into(),
             },
             Message::JoinRequest {
                 video: VideoId::new(1),
@@ -602,26 +604,26 @@ mod tests {
                 video: VideoId::new(1),
             },
             Message::SubscriptionUpdate {
-                subscribed: vec![ChannelId::new(1), ChannelId::new(5)],
+                subscribed: vec![ChannelId::new(1), ChannelId::new(5)].into(),
             },
             Message::LogOff,
             Message::JoinResponse {
                 video: VideoId::new(1),
-                channel_contacts: vec![NodeId::new(2)],
-                category_contacts: vec![NodeId::new(3), NodeId::new(4)],
+                channel_contacts: vec![NodeId::new(2)].into(),
+                category_contacts: vec![NodeId::new(3), NodeId::new(4)].into(),
             },
             Message::OverlayContacts {
                 video: VideoId::new(1),
-                contacts: vec![],
+                contacts: vec![].into(),
             },
             Message::ProviderList {
                 id,
                 video: VideoId::new(1),
-                providers: vec![NodeId::new(5)],
+                providers: vec![NodeId::new(5)].into(),
             },
             Message::PopularityDigest {
                 channel: ChannelId::new(1),
-                ranked: vec![VideoId::new(3), VideoId::new(1)],
+                ranked: vec![VideoId::new(3), VideoId::new(1)].into(),
             },
         ];
         for msg in samples {

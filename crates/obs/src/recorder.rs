@@ -117,15 +117,20 @@ pub enum HistKind {
     /// Per-chunk wait in the server's bounded upload pipe, in µs
     /// (log2 buckets).
     ServerQueueWaitUs,
+    /// Occupied buckets of the engine's calendar event queue, sampled once
+    /// per simulated minute — how spread pending events are across the
+    /// wheel's time window (log2 buckets).
+    QueueBucketOccupancy,
 }
 
 impl HistKind {
     /// Every histogram kind, in serialization order.
-    pub const ALL: [HistKind; 4] = [
+    pub const ALL: [HistKind; 5] = [
         HistKind::SearchHops,
         HistKind::QueueDepth,
         HistKind::PeerUploadWaitUs,
         HistKind::ServerQueueWaitUs,
+        HistKind::QueueBucketOccupancy,
     ];
 
     /// Number of histogram kinds.
@@ -138,6 +143,7 @@ impl HistKind {
             HistKind::QueueDepth => "queue_depth",
             HistKind::PeerUploadWaitUs => "peer_upload_wait_us",
             HistKind::ServerQueueWaitUs => "server_queue_wait_us",
+            HistKind::QueueBucketOccupancy => "queue_bucket_occupancy",
         }
     }
 

@@ -51,7 +51,7 @@ pub use bandwidth::{ServerQueue, UploadScheduler};
 pub use churn::{ChurnProcess, SessionPhase};
 pub use engine::Engine;
 pub use latency::LatencyModel;
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueOccupancy};
 pub use rng::SimRng;
 pub use sampler::PeriodicSampler;
 pub use time::{SimDuration, SimTime};

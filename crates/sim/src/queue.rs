@@ -5,11 +5,64 @@ use std::collections::BinaryHeap;
 
 use crate::SimTime;
 
-/// A time-ordered queue of pending events.
+/// Number of tick-granular buckets in the calendar wheel (one window).
+const WHEEL_BUCKETS: usize = 4096;
+/// Bucket width as a power-of-two of microseconds: 2^10 µs ≈ 1 ms.
+const TICK_SHIFT: u32 = 10;
+/// Words in the occupancy bitmap (one bit per bucket).
+const BITMAP_WORDS: usize = WHEEL_BUCKETS / 64;
+
+/// Snapshot of the calendar queue's internal layout, for instrumentation.
+///
+/// Exposed so drivers can feed bucket-occupancy histograms without the
+/// queue depending on any observation crate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct QueueOccupancy {
+    /// Buckets of the calendar wheel currently holding at least one event.
+    pub occupied_buckets: usize,
+    /// Events stored in wheel buckets (inside the current time window).
+    pub wheel_events: usize,
+    /// Events parked in the far-future overflow heap.
+    pub overflow_events: usize,
+    /// Events in the sorted working set of the current tick.
+    pub current_events: usize,
+}
+
+/// A time-ordered queue of pending events, laid out as a calendar queue:
+/// tick-granular wheel buckets for the near future plus an overflow heap
+/// for events beyond the wheel's window.
 ///
 /// Events that share a timestamp are delivered in insertion order (FIFO),
 /// which makes simulations fully deterministic: the queue never depends on
 /// heap tie-breaking of the payload type.
+///
+/// # Ordering contract
+///
+/// Every pushed event is stamped with a sequence number from a single
+/// monotonically increasing `u64` counter (never reset, not even by
+/// [`clear`](EventQueue::clear)), and delivery follows the strict total
+/// order `(time, seq)`. Two consequences:
+///
+/// * same-time events pop in push order (FIFO ties), and
+/// * delivery order is a pure function of the push sequence — independent
+///   of the internal bucket/heap layout, so this calendar queue is
+///   delivery-order-identical to the binary-heap implementation it
+///   replaced.
+///
+/// The counter cannot realistically overflow: at 10⁹ pushes per second a
+/// `u64` lasts ~585 years of wall clock. Monotonicity of popped
+/// `(time, seq)` pairs is debug-asserted on every [`pop`](EventQueue::pop).
+///
+/// # Layout
+///
+/// The wheel covers a fixed window of `WHEEL_BUCKETS` ticks starting at
+/// `wheel_base`; bucket `t % WHEEL_BUCKETS` holds the (unsorted) events of
+/// tick `t`. When the cursor reaches a bucket, its events are sorted by
+/// `(time, seq)` into a working set popped from cheapest to latest —
+/// because sequence numbers are globally monotonic, this reproduces exact
+/// heap order. Events past the window wait in the overflow heap; when the
+/// wheel drains, the window re-bases at the overflow's earliest tick and
+/// the overflow prefix migrates into buckets.
 ///
 /// # Examples
 ///
@@ -25,8 +78,27 @@ use crate::SimTime;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Ring of tick buckets covering ticks `[wheel_base, wheel_base +
+    /// WHEEL_BUCKETS)`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; BITMAP_WORDS],
+    /// Working set of the tick at `cursor`, sorted *descending* by
+    /// `(time, seq)` so [`Vec::pop`] yields the earliest entry.
+    current: Vec<Entry<E>>,
+    /// Events at ticks `>= wheel_base + WHEEL_BUCKETS`.
+    overflow: BinaryHeap<Reverse<Key<E>>>,
+    /// First tick of the wheel's window.
+    wheel_base: u64,
+    /// Tick currently being drained.
+    cursor: u64,
+    /// Events currently held in wheel buckets.
+    wheel_len: usize,
+    /// Total pending events (current + wheel + overflow).
+    len: usize,
     next_seq: u64,
+    /// Last popped `(time, seq)`, for the monotonicity debug-assertion.
+    last_popped: Option<(SimTime, u64)>,
 }
 
 #[derive(Debug)]
@@ -36,32 +108,55 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl<E> Entry<E> {
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
 
-impl<E> Eq for Entry<E> {}
+/// Heap entry ordered by `(time, seq)` only — the payload never
+/// participates in comparisons.
+#[derive(Debug)]
+struct Key<E>(Entry<E>);
 
-impl<E> PartialOrd for Entry<E> {
+impl<E> PartialEq for Key<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+
+impl<E> Eq for Key<E> {}
+
+impl<E> PartialOrd for Key<E> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl<E> Ord for Key<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+        self.0.key().cmp(&other.0.key())
     }
+}
+
+fn tick_of(time: SimTime) -> u64 {
+    time.as_micros() >> TICK_SHIFT
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            buckets: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; BITMAP_WORDS],
+            current: Vec::new(),
+            overflow: BinaryHeap::new(),
+            wheel_base: 0,
+            cursor: 0,
+            wheel_len: 0,
+            len: 0,
             next_seq: 0,
+            last_popped: None,
         }
     }
 
@@ -69,32 +164,159 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, event }));
+        let entry = Entry { time, seq, event };
+        let tick = tick_of(time);
+        if tick <= self.cursor {
+            // At (or before) the tick being drained: insert into the
+            // descending working set. A same-tick FIFO push carries the
+            // largest key so far and lands near the front; the common
+            // cross-tick push never takes this branch (simulation drivers
+            // schedule at or after `now`, usually ticks ahead).
+            let at = self.current.partition_point(|e| e.key() > entry.key());
+            self.current.insert(at, entry);
+        } else if tick < self.wheel_base + WHEEL_BUCKETS as u64 {
+            let idx = (tick % WHEEL_BUCKETS as u64) as usize;
+            self.buckets[idx].push(entry);
+            self.occupied[idx / 64] |= 1 << (idx % 64);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Reverse(Key(entry)));
+        }
+        self.len += 1;
     }
 
     /// Removes and returns the earliest event, FIFO among ties.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+        if self.len == 0 {
+            return None;
+        }
+        if self.current.is_empty() {
+            self.advance();
+        }
+        let entry = self
+            .current
+            .pop()
+            .expect("advance() always yields a non-empty working set");
+        self.len -= 1;
+        debug_assert!(
+            self.last_popped.is_none_or(|last| last < entry.key()),
+            "event queue delivery order regressed"
+        );
+        if cfg!(debug_assertions) {
+            self.last_popped = Some(entry.key());
+        }
+        Some((entry.time, entry.event))
+    }
+
+    /// Moves the cursor to the next non-empty tick and loads its bucket as
+    /// the working set. Caller guarantees `len > 0` and `current` empty.
+    fn advance(&mut self) {
+        if self.wheel_len == 0 {
+            // The window is spent: re-base it at the overflow's earliest
+            // tick and migrate everything now inside the new window.
+            let Some(Reverse(min)) = self.overflow.peek() else {
+                unreachable!("len > 0 with empty wheel and empty overflow");
+            };
+            let base = tick_of(min.0.time);
+            self.wheel_base = base;
+            self.cursor = base;
+            let window_end = base + WHEEL_BUCKETS as u64;
+            while let Some(Reverse(k)) = self.overflow.peek() {
+                if tick_of(k.0.time) >= window_end {
+                    break;
+                }
+                let Some(Reverse(Key(entry))) = self.overflow.pop() else {
+                    unreachable!("peeked entry vanished");
+                };
+                let idx = (tick_of(entry.time) % WHEEL_BUCKETS as u64) as usize;
+                self.buckets[idx].push(entry);
+                self.occupied[idx / 64] |= 1 << (idx % 64);
+                self.wheel_len += 1;
+            }
+        } else {
+            self.cursor = self
+                .next_occupied_tick()
+                .expect("wheel_len > 0 but no occupied bucket in the window");
+        }
+        let idx = (self.cursor % WHEEL_BUCKETS as u64) as usize;
+        // Swap recycles the working set's capacity into the drained bucket.
+        std::mem::swap(&mut self.current, &mut self.buckets[idx]);
+        self.occupied[idx / 64] &= !(1 << (idx % 64));
+        self.wheel_len -= self.current.len();
+        // Seq numbers are globally monotonic, so sorting by (time, seq)
+        // reproduces exact push order among same-time entries. Descending,
+        // so Vec::pop takes the earliest.
+        self.current
+            .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+        debug_assert!(!self.current.is_empty(), "advanced to an empty bucket");
+    }
+
+    /// First occupied tick strictly after `cursor` within the window, via
+    /// a word-wise scan of the occupancy bitmap.
+    fn next_occupied_tick(&self) -> Option<u64> {
+        let end = self.wheel_base + WHEEL_BUCKETS as u64;
+        let mut t = self.cursor + 1;
+        while t < end {
+            let idx = (t % WHEEL_BUCKETS as u64) as usize;
+            let bit = idx % 64;
+            // Bits [bit..64) of this word cover ticks t..t + (64 - bit).
+            let word = self.occupied[idx / 64] >> bit;
+            if word != 0 {
+                let cand = t + u64::from(word.trailing_zeros());
+                debug_assert!(cand < end, "occupied bucket outside the window");
+                return Some(cand);
+            }
+            t += 64 - bit as u64;
+        }
+        None
     }
 
     /// Returns the timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        if let Some(e) = self.current.last() {
+            return Some(e.time);
+        }
+        if self.wheel_len > 0 {
+            let tick = self.next_occupied_tick()?;
+            let idx = (tick % WHEEL_BUCKETS as u64) as usize;
+            return self.buckets[idx].iter().map(|e| e.time).min();
+        }
+        self.overflow.peek().map(|Reverse(k)| k.0.time)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
-    /// Drops all pending events.
+    /// Drops all pending events. The sequence counter is *not* reset, so
+    /// the FIFO tie-break contract holds across a clear.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        if self.wheel_len > 0 {
+            for b in &mut self.buckets {
+                b.clear();
+            }
+        }
+        self.occupied = [0; BITMAP_WORDS];
+        self.current.clear();
+        self.overflow.clear();
+        self.wheel_len = 0;
+        self.len = 0;
+    }
+
+    /// Current layout statistics: bucket occupancy and overflow pressure.
+    pub fn occupancy(&self) -> QueueOccupancy {
+        QueueOccupancy {
+            occupied_buckets: self.occupied.iter().map(|w| w.count_ones() as usize).sum(),
+            wheel_events: self.wheel_len,
+            overflow_events: self.overflow.len(),
+            current_events: self.current.len(),
+        }
     }
 }
 
@@ -158,10 +380,40 @@ mod tests {
     }
 
     #[test]
+    fn peek_sees_through_every_layer() {
+        let mut q = EventQueue::new();
+        // Overflow only.
+        let far = SimTime::from_micros(3600 * 1_000_000);
+        q.push(far, 1);
+        assert_eq!(q.peek_time(), Some(far));
+        // Wheel bucket beats overflow.
+        let near = SimTime::from_micros(5_000);
+        q.push(near, 2);
+        assert_eq!(q.peek_time(), Some(near));
+        // Working set beats both.
+        assert_eq!(q.pop(), Some((near, 2)));
+        q.push(near, 3);
+        assert_eq!(q.peek_time(), Some(near));
+    }
+
+    #[test]
     fn clear_empties_queue() {
         let mut q: EventQueue<u8> = [(SimTime::from_micros(1), 1u8)].into_iter().collect();
         q.clear();
         assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_holds_across_clear() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(1), 'x');
+        q.clear();
+        let t = SimTime::from_micros(9);
+        q.push(t, 'a');
+        q.push(t, 'b');
+        assert_eq!(q.pop(), Some((t, 'a')));
+        assert_eq!(q.pop(), Some((t, 'b')));
     }
 
     #[test]
@@ -172,7 +424,81 @@ mod tests {
         assert_eq!(q.len(), 5);
     }
 
+    #[test]
+    fn far_future_events_cross_the_overflow_heap() {
+        let mut q = EventQueue::new();
+        // Span several wheel windows: logins staggered over hours plus
+        // near-term chatter, interleaved.
+        let mut expect = Vec::new();
+        for i in 0..50u64 {
+            let t = SimTime::from_micros(i * 97 * 1_000_000); // ~1.6 min apart, far > window
+            q.push(t, i);
+            expect.push((t, i));
+        }
+        for i in 50..60u64 {
+            let t = SimTime::from_micros(i);
+            q.push(t, i);
+            expect.push((t, i));
+        }
+        expect.sort_by_key(|(t, i)| (*t, *i));
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(got, expect);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn occupancy_reports_layout() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.occupancy(), QueueOccupancy::default());
+        q.push(SimTime::from_micros(2_000), 1); // wheel bucket
+        q.push(SimTime::from_micros(2_040), 2); // same 1024 µs bucket
+        q.push(SimTime::from_micros(7_200_000_000), 3); // overflow
+        let occ = q.occupancy();
+        assert_eq!(occ.occupied_buckets, 1);
+        assert_eq!(occ.wheel_events, 2);
+        assert_eq!(occ.overflow_events, 1);
+        q.pop();
+        let occ = q.occupancy();
+        assert_eq!(occ.occupied_buckets, 0);
+        assert_eq!(occ.current_events, 1);
+    }
+
+    /// The pre-refactor binary-heap queue, kept as the differential-test
+    /// oracle: same `(time, seq)` total order, trivially correct.
+    mod reference {
+        use super::*;
+
+        pub struct HeapQueue<E> {
+            heap: BinaryHeap<Reverse<Key<E>>>,
+            next_seq: u64,
+        }
+
+        impl<E> HeapQueue<E> {
+            pub fn new() -> Self {
+                Self {
+                    heap: BinaryHeap::new(),
+                    next_seq: 0,
+                }
+            }
+
+            pub fn push(&mut self, time: SimTime, event: E) {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.heap.push(Reverse(Key(Entry { time, seq, event })));
+            }
+
+            pub fn pop(&mut self) -> Option<(SimTime, E)> {
+                self.heap.pop().map(|Reverse(Key(e))| (e.time, e.event))
+            }
+
+            pub fn len(&self) -> usize {
+                self.heap.len()
+            }
+        }
+    }
+
     mod properties {
+        use super::reference::HeapQueue;
         use super::*;
         use proptest::prelude::*;
 
@@ -211,6 +537,73 @@ mod tests {
                 }
                 prop_assert!(q.is_empty());
             }
+
+            /// Differential test against the binary-heap reference: random
+            /// interleavings of schedules and drains — with time offsets
+            /// spanning the working set, the wheel, and the overflow heap,
+            /// plus deliberate same-tick ties — deliver identically from
+            /// both implementations.
+            #[test]
+            fn matches_heap_reference(
+                ops in proptest::collection::vec(
+                    prop_oneof![
+                        // Near pushes: same tick / same wheel window.
+                        (0u64..5_000).prop_map(Some),
+                        // Far pushes: land in the overflow heap.
+                        (4_000_000u64..400_000_000).prop_map(Some),
+                        // Exact ties on a handful of timestamps.
+                        (0u64..4).prop_map(|t| Some(t * 1_000_000)),
+                        Just(None), // pop
+                    ],
+                    1..400,
+                ),
+            ) {
+                let mut calendar = EventQueue::new();
+                let mut heap = HeapQueue::new();
+                // Clocked like a simulation: pushes are relative to the
+                // last popped time, so the cursor keeps moving forward.
+                let mut now = 0u64;
+                for (i, op) in ops.into_iter().enumerate() {
+                    match op {
+                        Some(offset) => {
+                            let t = SimTime::from_micros(now + offset);
+                            calendar.push(t, i);
+                            heap.push(t, i);
+                        }
+                        None => {
+                            let got = calendar.pop();
+                            let want = heap.pop();
+                            prop_assert_eq!(got, want, "queues diverged");
+                            if let Some((t, _)) = got {
+                                now = t.as_micros();
+                            }
+                        }
+                    }
+                    prop_assert_eq!(calendar.len(), heap.len());
+                }
+                // Drain both completely: every remaining event must match.
+                loop {
+                    let got = calendar.pop();
+                    let want = heap.pop();
+                    prop_assert_eq!(got, want, "queues diverged at drain");
+                    if got.is_none() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    mod layout {
+        use super::*;
+
+        /// The queue entry stays three words of header plus the payload:
+        /// growth here multiplies across every pending event.
+        #[test]
+        fn entry_header_is_two_words() {
+            assert_eq!(std::mem::size_of::<Entry<()>>(), 16);
+            // A boxed payload adds exactly one pointer.
+            assert_eq!(std::mem::size_of::<Entry<Box<u64>>>(), 24);
         }
     }
 }
