@@ -4,9 +4,13 @@
 //! ```text
 //! cargo run --release -p socialtube-bench --bin campaign -- \
 //!     [--scale demo|figure|full] [--seeds N] [--seed BASE] [--workers N] \
-//!     [--protocols socialtube,pavod,...] [--out PATH] \
+//!     [--shards N] [--protocols socialtube,pavod,...] [--out PATH] \
 //!     [--metrics-out PATH] [--trace-out PATH]
 //! ```
+//!
+//! `--shards N` runs every cell under `Execution::Sharded { workers: N }`;
+//! cell results are bitwise identical to serial execution, so the
+//! serial-vs-parallel verification still holds.
 //!
 //! Runs the protocols × seeds grid twice — once on a single thread, once on
 //! the worker pool with the metrics recorder attached — verifies the two
@@ -21,7 +25,8 @@
 use std::io::Write;
 
 use socialtube_experiments::{
-    configs, Campaign, CampaignReport, ExperimentOptions, Protocol, RecorderConfig, RunSpec,
+    configs, Campaign, CampaignReport, Execution, ExperimentOptions, Protocol, RecorderConfig,
+    RunSpec,
 };
 use socialtube_obs::chrome_trace;
 
@@ -30,6 +35,7 @@ fn main() {
     let mut seeds: usize = 4;
     let mut base_seed: u64 = 42;
     let mut workers: usize = socialtube_experiments::campaign::default_workers();
+    let mut execution = Execution::Serial;
     let mut protocols: Vec<Protocol> = Protocol::ALL.to_vec();
     let mut out = "BENCH_campaign.json".to_string();
     let mut metrics_out: Option<String> = None;
@@ -49,6 +55,17 @@ fn main() {
             "--seeds" => seeds = value("--seeds").parse().expect("--seeds: integer"),
             "--seed" => base_seed = value("--seed").parse().expect("--seed: integer"),
             "--workers" => workers = value("--workers").parse().expect("--workers: integer"),
+            "--shards" => {
+                let n: usize = value("--shards").parse().expect("--shards: integer >= 1");
+                assert!(n >= 1, "--shards: integer >= 1");
+                execution = Execution::Sharded { workers: n };
+            }
+            "--execution" => {
+                execution = value("--execution").parse().unwrap_or_else(|e| {
+                    eprintln!("--execution: {e}");
+                    std::process::exit(2);
+                });
+            }
             "--protocols" => {
                 protocols = value("--protocols")
                     .split(',')
@@ -76,10 +93,12 @@ fn main() {
     let campaign = Campaign::new(options)
         .protocols(&protocols)
         .replicates(seeds)
-        .workers(workers);
+        .workers(workers)
+        .execution(execution);
     let runs = campaign.plan().len();
     println!(
-        "# campaign: {} protocols × {seeds} seeds = {runs} runs (scale {scale})",
+        "# campaign: {} protocols × {seeds} seeds = {runs} runs (scale {scale}, \
+         execution {execution})",
         protocols.len()
     );
 

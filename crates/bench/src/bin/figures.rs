@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! cargo run --release -p socialtube-bench --bin figures -- [TARGETS] \
-//!     [--scale demo|figure|full] [--metrics-out PATH] [--trace-out PATH]
+//!     [--scale demo|figure|full] [--shards N] [--metrics-out PATH] \
+//!     [--trace-out PATH]
 //! ```
+//!
+//! `--shards N` runs the simulation comparison sharded; every figure is
+//! bitwise identical to the serial run.
 //!
 //! Targets: `all` (default), `table1`, `fig2`..`fig13`, `fig15`,
 //! `fig16a`, `fig16b`, `fig17a`, `fig17b`, `fig18a`, `fig18b`,
@@ -24,7 +28,7 @@ use socialtube::SocialTubeConfig;
 use socialtube_bench::CsvWriter;
 use socialtube_experiments::figures as xfig;
 use socialtube_experiments::{
-    configs, net_driver, ExperimentOptions, Protocol, RecorderConfig, RunSpec,
+    configs, net_driver, Execution, ExperimentOptions, Protocol, RecorderConfig, RunSpec,
 };
 use socialtube_trace::{
     analysis, generate, generate_shared, stats::Percentiles, Trace, TraceConfig,
@@ -46,6 +50,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Demo;
     let mut seed: u64 = 42;
+    let mut execution = Execution::Serial;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut targets: BTreeSet<String> = BTreeSet::new();
@@ -57,6 +62,17 @@ fn main() {
                     eprintln!("--seed needs an integer");
                     std::process::exit(2);
                 });
+            }
+            "--shards" => {
+                let workers: usize = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--shards needs an integer >= 1");
+                        std::process::exit(2);
+                    });
+                execution = Execution::Sharded { workers };
             }
             "--metrics-out" => {
                 metrics_out = Some(iter.next().cloned().unwrap_or_else(|| {
@@ -160,12 +176,13 @@ fn main() {
         let mut options = sim_options(scale);
         options.seed = seed;
         println!(
-            "# simulating 5 protocol variants: {} nodes × {} sessions × {} videos",
+            "# simulating 5 protocol variants: {} nodes × {} sessions × {} videos \
+             (execution {execution})",
             options.trace.users,
             options.workload.sessions_per_node,
             options.workload.videos_per_session
         );
-        xfig::run_full_comparison(&options)
+        xfig::run_comparison_with(&options, &Protocol::ALL, execution)
     });
 
     let wants_net = targets

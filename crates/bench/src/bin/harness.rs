@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p socialtube-bench --bin harness -- \
-//!     [--seed N] [--min-events-per-sec N] [--out PATH]
+//!     [--seed N] [--shards N] [--min-events-per-sec N] [--out PATH]
 //! ```
 //!
 //! Runs every protocol twice over one shared trace (the steady-state smoke
@@ -17,7 +17,7 @@
 use std::io::Write;
 use std::time::Instant;
 
-use socialtube_experiments::{configs, Protocol, RecorderConfig, RunSpec};
+use socialtube_experiments::{configs, Execution, Protocol, RecorderConfig, RunSpec};
 use socialtube_trace::generate_shared;
 
 struct Cell {
@@ -30,6 +30,7 @@ struct Cell {
 fn main() {
     let mut seed: u64 = 42;
     let mut min_eps: f64 = 0.0;
+    let mut execution = Execution::Serial;
     let mut out = "BENCH_harness.json".to_string();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +44,17 @@ fn main() {
         };
         match arg.as_str() {
             "--seed" => seed = value("--seed").parse().expect("--seed: integer"),
+            "--shards" => {
+                let workers: usize = value("--shards").parse().expect("--shards: integer >= 1");
+                assert!(workers >= 1, "--shards: integer >= 1");
+                execution = Execution::Sharded { workers };
+            }
+            "--execution" => {
+                execution = value("--execution").parse().unwrap_or_else(|e| {
+                    eprintln!("--execution: {e}");
+                    std::process::exit(2);
+                });
+            }
             "--min-events-per-sec" => {
                 min_eps = value("--min-events-per-sec")
                     .parse()
@@ -64,7 +76,7 @@ fn main() {
     // millisecond-rounded figure reads as a flat 0.000.
     let trace_secs = trace_start.elapsed().as_micros() as f64 / 1e6;
     println!(
-        "# harness bench: {} users, trace generated in {trace_secs:.6}s",
+        "# harness bench: {} users, trace generated in {trace_secs:.6}s, execution {execution}",
         shared.graph.user_count()
     );
 
@@ -72,7 +84,8 @@ fn main() {
     for protocol in Protocol::ALL {
         let spec = RunSpec::new(protocol)
             .options(options.clone())
-            .trace(shared.clone());
+            .trace(shared.clone())
+            .execution(execution);
         let start = Instant::now();
         let outcome = spec.clone().run();
         let secs = start.elapsed().as_secs_f64();

@@ -1,19 +1,22 @@
-//! Scale benchmark: one large single-threaded SocialTube run through the
-//! calendar event queue, with a machine-readable report and an optional
-//! throughput floor.
+//! Scale benchmark: one large SocialTube run through the calendar event
+//! queue — serial or sharded — with a machine-readable report and an
+//! optional throughput floor.
 //!
 //! ```text
 //! cargo run --release -p socialtube-bench --bin scale -- \
-//!     [--peers N] [--seed N] [--min-events-per-sec N] [--out PATH]
+//!     [--peers N] [--seed N] [--shards N] [--min-events-per-sec N] [--out PATH]
 //! ```
 //!
 //! Runs `configs::scale_test(peers)` (Table I per-node ratios, one short
 //! session per node) under SocialTube and writes `BENCH_scale.json` with
-//! the event count, events/second, peak RSS (`VmHWM`) and the event
-//! queue's high-water mark. The default population is 200,000 peers; runs
-//! above 500,000 require the `million` feature, which exists so the
-//! 1M-peer smoke path is a deliberate opt-in rather than an accidental
-//! half-hour CI job:
+//! the event count, events/second, peak RSS (`VmHWM`), bytes per peer, the
+//! shard count and each shard's event total and queue high-water mark.
+//! `--shards N` selects `Execution::Sharded { workers: N }`; the final
+//! metrics are bitwise identical to the serial run either way, so CI
+//! compares the two reports field by field. The default population is
+//! 200,000 peers; runs above 500,000 require the `million` feature, which
+//! exists so the 1M-peer smoke path is a deliberate opt-in rather than an
+//! accidental half-hour CI job:
 //!
 //! ```text
 //! cargo run --release -p socialtube-bench --features million --bin scale -- \
@@ -23,7 +26,7 @@
 use std::io::Write;
 use std::time::Instant;
 
-use socialtube_experiments::{configs, Protocol, RunSpec};
+use socialtube_experiments::{configs, Execution, Protocol, RunSpec};
 use socialtube_trace::generate_shared;
 
 /// Population ceiling without the `million` feature. Everything below this
@@ -35,6 +38,7 @@ fn main() {
     let mut peers: usize = 200_000;
     let mut seed: u64 = 42;
     let mut min_eps: f64 = 0.0;
+    let mut execution = Execution::Serial;
     let mut out = "BENCH_scale.json".to_string();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,6 +53,17 @@ fn main() {
         match arg.as_str() {
             "--peers" => peers = value("--peers").parse().expect("--peers: integer"),
             "--seed" => seed = value("--seed").parse().expect("--seed: integer"),
+            "--shards" => {
+                let workers: usize = value("--shards").parse().expect("--shards: integer >= 1");
+                assert!(workers >= 1, "--shards: integer >= 1");
+                execution = Execution::Sharded { workers };
+            }
+            "--execution" => {
+                execution = value("--execution").parse().unwrap_or_else(|e| {
+                    eprintln!("--execution: {e}");
+                    std::process::exit(2);
+                });
+            }
             "--min-events-per-sec" => {
                 min_eps = value("--min-events-per-sec")
                     .parse()
@@ -76,7 +91,8 @@ fn main() {
     let shared = generate_shared(&options.trace, seed);
     let trace_secs = trace_start.elapsed().as_secs_f64();
     println!(
-        "# scale bench: {} peers, {} videos in {} channels, trace in {trace_secs:.2}s",
+        "# scale bench: {} peers, {} videos in {} channels, trace in {trace_secs:.2}s, \
+         execution {execution}",
         shared.graph.user_count(),
         options.trace.videos,
         options.trace.channels,
@@ -84,7 +100,8 @@ fn main() {
 
     let spec = RunSpec::new(Protocol::SocialTube)
         .options(options)
-        .trace(shared);
+        .trace(shared)
+        .execution(execution);
     let start = Instant::now();
     let outcome = spec.run();
     let secs = start.elapsed().as_secs_f64();
@@ -92,31 +109,56 @@ fn main() {
 
     let eps = outcome.events as f64 / secs.max(1e-9);
     let peak_rss = peak_rss_bytes().unwrap_or(0);
+    let bytes_per_peer = peak_rss / peers.max(1) as u64;
     println!(
         "#   socialtube: {} events in {secs:.2}s = {eps:.0} events/s, \
-         queue peak {}, peak RSS {} MiB",
+         queue peak {}, peak RSS {} MiB ({bytes_per_peer} B/peer)",
         outcome.events,
-        outcome.queue_peak,
+        outcome.queue_peak(),
         peak_rss >> 20,
     );
+    for s in &outcome.shards {
+        println!(
+            "#   shard {}: {} peers, {} events, queue peak {}",
+            s.shard, s.peers, s.events, s.queue_peak
+        );
+    }
 
+    let shards_json = outcome
+        .shards
+        .iter()
+        .map(|s| {
+            format!(
+                r#"    {{"shard": {}, "peers": {}, "events": {}, "queue_peak": {}}}"#,
+                s.shard, s.peers, s.events, s.queue_peak
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
         r#"{{
   "benchmark": "scale",
   "protocol": "socialtube",
   "peers": {peers},
   "seed": {seed},
+  "execution": "{execution}",
+  "shard_count": {shard_count},
   "trace_wall_clock_s": {trace_secs:.3},
   "events": {events},
   "wall_clock_s": {secs:.3},
   "events_per_sec": {eps:.0},
   "queue_peak": {queue_peak},
   "peak_rss_bytes": {peak_rss},
-  "sim_end_s": {sim_end}
+  "bytes_per_peer": {bytes_per_peer},
+  "sim_end_s": {sim_end},
+  "shards": [
+{shards_json}
+  ]
 }}
 "#,
+        shard_count = outcome.shards.len(),
         events = outcome.events,
-        queue_peak = outcome.queue_peak,
+        queue_peak = outcome.queue_peak(),
         sim_end = outcome.sim_end.as_micros() / 1_000_000,
     );
     let mut file = std::fs::File::create(&out).expect("create report file");

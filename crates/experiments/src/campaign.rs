@@ -40,7 +40,7 @@ use socialtube_trace::{generate_shared, SharedTrace};
 use crate::configs::ExperimentOptions;
 use crate::driver::{RunSpec, SimOutcome};
 use crate::metrics::MetricsSummary;
-use crate::Protocol;
+use crate::{Execution, Protocol};
 
 /// A planned sweep over protocols × seeds, sharing one trace per seed.
 ///
@@ -54,6 +54,7 @@ pub struct Campaign {
     seeds: Vec<u64>,
     workers: usize,
     recorder: RecorderConfig,
+    execution: Execution,
 }
 
 /// One cell of the sweep grid before execution.
@@ -161,7 +162,17 @@ impl Campaign {
             seeds,
             workers: default_workers(),
             recorder: RecorderConfig::default(),
+            execution: Execution::Serial,
         }
+    }
+
+    /// Runs every cell under `execution` ([`RunSpec::execution`]). With
+    /// [`Execution::Sharded`] each run shards internally, so keep the
+    /// campaign's own [`workers`](Campaign::workers) low to avoid
+    /// oversubscription. Outcomes are bitwise identical either way.
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
     }
 
     /// Attaches a recorder to every cell ([`RunSpec::with_recorder`]):
@@ -253,6 +264,7 @@ impl Campaign {
                     .seed(p.seed)
                     .trace(traces[p.sweep_index].clone())
                     .with_recorder(self.recorder)
+                    .execution(self.execution)
             })
             .collect();
         let outcomes = run_specs(specs, workers);
@@ -559,6 +571,26 @@ mod tests {
     }
 
     #[test]
+    fn sharded_campaign_matches_serial_campaign_bitwise() {
+        let campaign = Campaign::new(tiny())
+            .protocols(&[Protocol::SocialTube, Protocol::PaVod])
+            .replicates(2)
+            .workers(2);
+        let serial = campaign.run_serial();
+        let sharded = campaign
+            .clone()
+            .execution(Execution::Sharded { workers: 2 })
+            .run_serial();
+        for (a, b) in serial.cells.iter().zip(&sharded.cells) {
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.outcome.metrics, b.outcome.metrics, "{}", a.plan.protocol);
+            assert_eq!(a.outcome.events, b.outcome.events);
+            assert_eq!(a.outcome.sim_end, b.outcome.sim_end);
+            assert_eq!(b.outcome.shards.len(), 2, "sharded cells report 2 shards");
+        }
+    }
+
+    #[test]
     fn aggregate_statistics_are_correct() {
         let a = Aggregate::from_samples(&[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(a.mean, 2.5);
@@ -581,12 +613,14 @@ mod tests {
             .iter()
             .map(|&p| RunSpec::new(p).options(base.clone()).trace(shared.clone()))
             .collect();
-        let outcomes = run_specs(specs, 2);
+        let outcomes = run_specs(specs.clone(), 2);
         assert_eq!(outcomes.len(), 2);
-        // PA-VoD leans on the server; SocialTube on peers. Order must match.
-        assert!(
-            outcomes[0].metrics.total_server_bits > outcomes[1].metrics.total_server_bits,
-            "outcomes out of order"
-        );
+        // Each slot must hold exactly the outcome of the spec that was
+        // submitted there, regardless of which worker finished first.
+        for (spec, outcome) in specs.into_iter().zip(&outcomes) {
+            let alone = spec.run();
+            assert_eq!(alone.metrics, outcome.metrics, "outcomes out of order");
+            assert_eq!(alone.events, outcome.events);
+        }
     }
 }

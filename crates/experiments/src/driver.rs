@@ -5,20 +5,35 @@
 //! video-selection logic is [`SessionDirector`], and queued protocol
 //! commands become engine events through the core
 //! [`CommandInterpreter`] over the [`SimSubstrate`]. Any
-//! [`VodPeer`](socialtube::VodPeer)/[`VodServer`](socialtube::VodServer)
-//! pair runs unmodified under it.
+//! [`VodPeer`]/[`VodServer`] pair runs unmodified under it.
+//!
+//! Two executors share one event-handling core (`handle_event`, written
+//! against the [`EventScheduler`] trait):
+//!
+//! * **Serial** — one [`Engine`], one thread, the reference order.
+//! * **Sharded** — peers partitioned by interest community across worker
+//!   threads, each draining its own calendar queue in conservative epochs
+//!   ([`ShardEngine`]), with order-sensitive side effects replayed into
+//!   canonical serial order at every epoch barrier ([`MergeState`]).
+//!
+//! Which one runs is chosen through [`RunSpec::execution`] — the single
+//! selection point ([`Execution`]). Both produce bitwise-identical
+//! [`SimOutcome`]s; the differential tests at the bottom of this file pin
+//! that equivalence across protocols, seeds and shard counts.
 
+use std::collections::BTreeMap;
+use std::sync::mpsc;
 use std::sync::Arc;
 
 use socialtube::harness::CommandInterpreter;
-use socialtube::{Message, Outbox, PeerAddr, Report, ServerOutbox, TimerKind};
+use socialtube::{Message, Outbox, PeerAddr, Report, ServerOutbox, TimerKind, VodPeer, VodServer};
 use socialtube_model::{Catalog, NodeId};
 use socialtube_obs::{
     Counter, HistKind, NullRecorder, Recorder, RecorderConfig, RunRecorder, RunRecording, Track,
 };
 use socialtube_sim::{
-    Engine, LatencyModel, PeriodicSampler, ServerQueue, SimDuration, SimRng, SimTime,
-    UploadScheduler,
+    epoch_length, Delivery, Engine, EpochLog, EventScheduler, LatencyModel, MergeState,
+    PeriodicSampler, ServerQueue, ShardEngine, SimDuration, SimRng, SimTime, UploadScheduler,
 };
 use socialtube_trace::{generate, SharedTrace, Trace};
 
@@ -28,7 +43,7 @@ use crate::harness::{
 };
 use crate::metrics::{MetricsCollector, MetricsSummary};
 use crate::recording::record_report;
-use crate::Protocol;
+use crate::{Execution, Protocol};
 
 /// Events the driver schedules on the engine.
 #[derive(Debug)]
@@ -65,12 +80,28 @@ impl SimEvent for Ev {
     }
 }
 
+/// What one shard of a run processed — the serial executor reports itself
+/// as a single shard, so consumers (the scale bench, JSON emitters) never
+/// branch on the executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Shard index (0 for the serial executor; the server lives on 0).
+    pub shard: usize,
+    /// Events this shard processed.
+    pub events: u64,
+    /// High-water mark of this shard's pending-event queue — the working
+    /// set its calendar queue had to hold at once.
+    pub queue_peak: usize,
+    /// Number of peers this shard owned.
+    pub peers: usize,
+}
+
 /// Result of one simulation run.
 #[derive(Debug)]
 pub struct SimOutcome {
     /// The evaluation metrics.
     pub metrics: MetricsSummary,
-    /// Events processed by the engine.
+    /// Events processed across all shards.
     pub events: u64,
     /// Simulated time at which the run drained.
     pub sim_end: SimTime,
@@ -87,11 +118,10 @@ pub struct SimOutcome {
     /// (`(minute, backlog)`): the server-overload signal behind the
     /// paper's long PA-VoD startup delays.
     pub server_backlog_timeline: Vec<(u64, SimDuration)>,
-    /// High-water mark of the engine's pending-event queue — the working
-    /// set the calendar queue had to hold at once (see
-    /// `socialtube_sim::EventQueue`). The `scale` bench reports this as the
-    /// memory-pressure signal of a run.
-    pub queue_peak: usize,
+    /// Per-shard load figures, in shard order. A serial run reports one
+    /// shard owning every peer; a sharded run reports one entry per
+    /// worker. Event totals sum to [`events`](SimOutcome::events).
+    pub shards: Vec<ShardLoad>,
     /// True if the run hit the `max_events` safety valve.
     pub truncated: bool,
     /// Metrics snapshot and optional timeline, when the spec asked for
@@ -99,27 +129,37 @@ pub struct SimOutcome {
     pub recording: Option<RunRecording>,
 }
 
+impl SimOutcome {
+    /// Largest pending-event queue any shard held — the run's
+    /// memory-pressure signal (see `socialtube_sim::EventQueue`).
+    pub fn queue_peak(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_peak).max().unwrap_or(0)
+    }
+}
+
 /// Builder-style specification of one simulation run — the single entry
 /// point for simulating a protocol over a trace.
 ///
 /// A spec owns everything a run needs: the protocol variant, the
-/// [`ExperimentOptions`], an optional seed override, and an optional
-/// pre-built [`SharedTrace`]. Supplying a shared trace is how campaigns
-/// avoid regenerating (and deep-copying) the trace for every variant and
-/// replicate; without one, [`run`](RunSpec::run) generates the trace from
-/// the options — the two paths are bitwise identical for the same
-/// `(trace config, seed)`.
+/// [`ExperimentOptions`], an optional seed override, an optional
+/// pre-built [`SharedTrace`], and the [`Execution`] mode. Supplying a
+/// shared trace is how campaigns avoid regenerating (and deep-copying) the
+/// trace for every variant and replicate; without one,
+/// [`run`](RunSpec::run) generates the trace from the options — the two
+/// paths are bitwise identical for the same `(trace config, seed)`.
 ///
 /// # Examples
 ///
 /// ```
-/// use socialtube_experiments::{configs, Protocol, RunSpec};
+/// use socialtube_experiments::{configs, Execution, Protocol, RunSpec};
 ///
 /// let outcome = RunSpec::new(Protocol::SocialTube)
 ///     .options(configs::smoke_test())
 ///     .seed(7)
+///     .execution(Execution::Sharded { workers: 2 })
 ///     .run();
 /// assert!(outcome.metrics.playbacks > 0);
+/// assert_eq!(outcome.shards.len(), 2);
 /// ```
 #[derive(Clone, Debug)]
 pub struct RunSpec {
@@ -128,6 +168,7 @@ pub struct RunSpec {
     seed: Option<u64>,
     trace: Option<SharedTrace>,
     recorder: RecorderConfig,
+    execution: Execution,
 }
 
 impl RunSpec {
@@ -139,6 +180,7 @@ impl RunSpec {
             seed: None,
             trace: None,
             recorder: RecorderConfig::default(),
+            execution: Execution::Serial,
         }
     }
 
@@ -164,6 +206,14 @@ impl RunSpec {
         self
     }
 
+    /// Selects the executor ([`Execution::Serial`] by default). Sharded
+    /// execution partitions peers by interest community across worker
+    /// threads; the outcome is bitwise identical either way.
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
+
     /// Turns on instrumentation: the outcome's
     /// [`recording`](SimOutcome::recording) carries a
     /// [`MetricsSnapshot`](socialtube_obs::MetricsSnapshot) (and a
@@ -180,30 +230,42 @@ impl RunSpec {
         self.protocol
     }
 
+    /// The executor this spec runs under.
+    pub fn execution_mode(&self) -> Execution {
+        self.execution
+    }
+
     /// The seed the run will actually use.
     pub fn effective_seed(&self) -> u64 {
         self.seed.unwrap_or(self.options.seed)
     }
 
-    /// Executes the run to completion. When
-    /// [`with_recorder`](RunSpec::with_recorder) asked for capture, the
-    /// outcome's `recording` is populated; otherwise the run goes through
-    /// the zero-cost [`NullRecorder`] path.
+    /// Executes the run to completion under the selected [`Execution`].
+    /// When [`with_recorder`](RunSpec::with_recorder) asked for capture,
+    /// the outcome's `recording` is populated; otherwise the run goes
+    /// through the zero-cost [`NullRecorder`] path.
     pub fn run(&self) -> SimOutcome {
-        if self.recorder.enabled() {
-            let mut rec = RunRecorder::new(self.recorder);
-            let mut outcome = self.run_recorded(&mut rec);
-            outcome.recording = Some(rec.finish());
-            outcome
-        } else {
-            self.run_recorded(&mut NullRecorder)
+        match self.execution {
+            Execution::Serial => {
+                if self.recorder.enabled() {
+                    let mut rec = RunRecorder::new(self.recorder);
+                    let mut outcome = self.run_recorded(&mut rec);
+                    outcome.recording = Some(rec.finish());
+                    outcome
+                } else {
+                    self.run_recorded(&mut NullRecorder)
+                }
+            }
+            Execution::Sharded { workers } => self.run_sharded(workers),
         }
     }
 
     /// Executes the run against a caller-owned [`Recorder`]. This is the
     /// escape hatch for custom recorder implementations; most callers want
     /// [`run`](RunSpec::run) plus [`with_recorder`](RunSpec::with_recorder).
-    /// The outcome's `recording` is `None` — the caller holds the recorder.
+    /// Always executes serially (a sharded run needs one recorder per
+    /// worker — see [`run`](RunSpec::run)); the outcome's `recording` is
+    /// `None` — the caller holds the recorder.
     pub fn run_recorded<R: Recorder>(&self, rec: &mut R) -> SimOutcome {
         let seed = self.effective_seed();
         match &self.trace {
@@ -228,10 +290,333 @@ impl RunSpec {
             }
         }
     }
+
+    /// The sharded path of [`run`](RunSpec::run): resolves the trace, then
+    /// fans one recorder per shard and folds them back into one recording.
+    fn run_sharded(&self, workers: usize) -> SimOutcome {
+        let seed = self.effective_seed();
+        let go = |trace: &Trace, catalog: Arc<Catalog>| -> SimOutcome {
+            if self.recorder.enabled() {
+                let config = self.recorder;
+                let (mut outcome, recs) = run_sharded_with(
+                    trace,
+                    catalog,
+                    self.protocol,
+                    &self.options,
+                    seed,
+                    workers,
+                    |_| RunRecorder::new(config),
+                );
+                let mut recording: Option<RunRecording> = None;
+                for rec in recs {
+                    let part = rec.finish();
+                    match &mut recording {
+                        Some(r) => r.absorb(part),
+                        None => recording = Some(part),
+                    }
+                }
+                outcome.recording = recording;
+                outcome
+            } else {
+                run_sharded_with(
+                    trace,
+                    catalog,
+                    self.protocol,
+                    &self.options,
+                    seed,
+                    workers,
+                    |_| NullRecorder,
+                )
+                .0
+            }
+        };
+        match &self.trace {
+            Some(shared) => go(shared, Arc::clone(shared.catalog())),
+            None => {
+                let shared = SharedTrace::new(generate(&self.options.trace, seed));
+                go(shared.trace(), Arc::clone(shared.catalog()))
+            }
+        }
+    }
 }
 
-/// The actual run loop: all entry points funnel here with an explicit
-/// root seed and a pre-built catalog handle.
+/// Where order-sensitive observations land during event handling.
+///
+/// The serial executor feeds the [`MetricsCollector`] directly; a shard
+/// queues [`MetricNote`]s instead, which the coordinator drains into the
+/// collector in canonical replay order — the collector only ever sees the
+/// serial order either way.
+trait ReportSink {
+    /// A protocol report surfaced while flushing an outbox.
+    fn on_report(&mut self, now: SimTime, report: Report);
+    /// A maintenance-overhead sample taken at a real playback start.
+    fn on_link_sample(&mut self, watched: u32, links: usize);
+    /// The server pipe's busy-until watermark after this event (how the
+    /// coordinator replays backlog samples without owning the queue).
+    fn on_server_busy(&mut self, busy: SimTime);
+}
+
+/// The serial executor's sink: straight into the collector.
+struct SerialSink<'a> {
+    metrics: &'a mut MetricsCollector,
+}
+
+impl ReportSink for SerialSink<'_> {
+    fn on_report(&mut self, now: SimTime, report: Report) {
+        self.metrics.on_report(now, report);
+    }
+    fn on_link_sample(&mut self, watched: u32, links: usize) {
+        self.metrics.sample_links(watched, links);
+    }
+    fn on_server_busy(&mut self, _busy: SimTime) {
+        // The serial loop reads the queue directly when sampling.
+    }
+}
+
+/// One order-sensitive side effect a shard queued during phase 1, replayed
+/// by the coordinator in canonical order.
+#[derive(Debug)]
+enum MetricNote {
+    /// [`MetricsCollector::on_report`] input.
+    Report(Report),
+    /// [`MetricsCollector::sample_links`] input.
+    LinkSample { watched: u32, links: usize },
+    /// The server pipe's busy-until watermark changed (only the
+    /// server-owning shard ever emits these; the watermark is monotone).
+    BusyUntil(SimTime),
+}
+
+/// A shard's sink: every observation becomes a [`MetricNote`], bucketed
+/// per processed event by the epoch loop (`note_ends`).
+struct ShardSink {
+    notes: Vec<MetricNote>,
+    last_busy: SimTime,
+}
+
+impl ShardSink {
+    fn new() -> Self {
+        Self {
+            notes: Vec::new(),
+            // ServerQueue::busy_until starts at ZERO, so shards that never
+            // touch the server (every shard but 0) note nothing.
+            last_busy: SimTime::ZERO,
+        }
+    }
+}
+
+impl ReportSink for ShardSink {
+    fn on_report(&mut self, _now: SimTime, report: Report) {
+        self.notes.push(MetricNote::Report(report));
+    }
+    fn on_link_sample(&mut self, watched: u32, links: usize) {
+        self.notes.push(MetricNote::LinkSample { watched, links });
+    }
+    fn on_server_busy(&mut self, busy: SimTime) {
+        // The watermark is monotone non-decreasing; only changes matter.
+        if busy != self.last_busy {
+            self.last_busy = busy;
+            self.notes.push(MetricNote::BusyUntil(busy));
+        }
+    }
+}
+
+/// Everything one executor (or one shard of it) owns besides the event
+/// queue: the protocol stack, session logic, and network models. Peers sit
+/// in full-length slot vectors so `NodeId` indexes directly; a shard holds
+/// `Some` only for the nodes it owns, and a misrouted event fails loudly.
+struct World<'a> {
+    trace: &'a Trace,
+    catalog: Arc<Catalog>,
+    interpreter: CommandInterpreter,
+    latency: LatencyModel,
+    peers: Vec<Option<Box<dyn VodPeer + Send>>>,
+    /// The origin server — present only on the serial executor and the
+    /// server-owning shard 0.
+    server: Option<Box<dyn VodServer + Send>>,
+    director: SessionDirector,
+    uploads: UploadScheduler,
+    server_queue: ServerQueue,
+    outbox: Outbox,
+    server_outbox: ServerOutbox,
+    tracked_peak: usize,
+}
+
+/// Mutable access to an owned peer slot; panics on a routing bug.
+fn peer(peers: &mut [Option<Box<dyn VodPeer + Send>>], node: NodeId) -> &mut (dyn VodPeer + Send) {
+    peers[node.index()]
+        .as_deref_mut()
+        .expect("event routed to a node owned by another shard")
+}
+
+/// The event-handling core both executors share, written against the
+/// [`EventScheduler`] trait so protocol behaviour cannot observe which
+/// executor is running it. Preserves the serial driver's exact operation
+/// order: count, dispatch, flush the actor's outbox, flush the server
+/// outbox — reports surfacing through `sink` as they happen.
+fn handle_event<S, R, K>(
+    world: &mut World<'_>,
+    engine: &mut S,
+    rec: &mut R,
+    sink: &mut K,
+    now: SimTime,
+    ev: Ev,
+) where
+    S: EventScheduler<Event = Ev>,
+    R: Recorder,
+    K: ReportSink,
+{
+    let World {
+        trace,
+        catalog,
+        interpreter,
+        latency,
+        peers,
+        server,
+        director,
+        uploads,
+        server_queue,
+        outbox,
+        server_outbox,
+        tracked_peak,
+    } = world;
+
+    if R::ENABLED {
+        rec.count(match &ev {
+            Ev::Login(_) => Counter::EvLogin,
+            Ev::Logout(_) => Counter::EvLogout,
+            Ev::NextVideo(_) => Counter::EvNextVideo,
+            Ev::WatchEnd(_) => Counter::EvWatchEnd,
+            Ev::PeerMsg { .. } => Counter::EvPeerMsg,
+            Ev::ServerMsg { .. } => Counter::EvServerMsg,
+            Ev::PeerTimer { .. } => Counter::EvPeerTimer,
+        });
+    }
+    // The peer whose commands the outbox will carry after this event.
+    let mut actor: Option<NodeId> = None;
+    match ev {
+        Ev::Login(node) => {
+            actor = Some(node);
+            director.on_login(node);
+            peer(peers, node).on_login(now, outbox);
+            engine.schedule_in(director.workload().browse_delay, Ev::NextVideo(node));
+            if R::ENABLED {
+                rec.span_begin(Track::Peer(node.as_u32()), "session", now.as_micros());
+            }
+        }
+
+        Ev::Logout(node) => {
+            actor = Some(node);
+            if R::ENABLED {
+                rec.span_end(Track::Peer(node.as_u32()), now.as_micros());
+            }
+            peer(peers, node).on_logout(now, outbox);
+            if director.is_abrupt_exit(node) {
+                // Abrupt failure: the process died before any goodbye
+                // could leave the machine. Dropping the outbox models
+                // exactly that — neighbors and the server only learn of
+                // the departure through probe timeouts.
+                outbox.drain();
+                actor = None;
+            }
+            if let Some(off) = director.on_logout(node) {
+                engine.schedule_in(off, Ev::Login(node));
+            }
+        }
+
+        Ev::NextVideo(node) => {
+            actor = Some(node);
+            if peer(peers, node).is_online() {
+                if let Some(video) = director.next_video(trace, node) {
+                    peer(peers, node).watch(now, video, outbox);
+                }
+            }
+        }
+
+        Ev::WatchEnd(node) => {
+            if peer(peers, node).is_online() {
+                match director.on_watch_end(node) {
+                    SessionStep::Continue(browse) => {
+                        engine.schedule_in(browse, Ev::NextVideo(node));
+                    }
+                    SessionStep::EndSession => {
+                        engine.schedule_at(now, Ev::Logout(node));
+                    }
+                }
+            }
+        }
+
+        Ev::PeerMsg { to, from, msg } => {
+            actor = Some(to);
+            if peer(peers, to).is_online() {
+                peer(peers, to).on_message(now, from, msg, outbox);
+            }
+        }
+
+        Ev::ServerMsg { from, msg } => {
+            let server = server
+                .as_mut()
+                .expect("server event routed off the server-owning shard");
+            server.on_message(now, from, msg, server_outbox);
+            *tracked_peak = (*tracked_peak).max(server.tracked_entries());
+        }
+
+        Ev::PeerTimer { node, kind } => {
+            actor = Some(node);
+            peer(peers, node).on_timer(now, kind, outbox);
+        }
+    }
+
+    if let Some(actor) = actor {
+        let mut sub = SimSubstrate {
+            now,
+            engine: &mut *engine,
+            latency,
+            uploads: &mut *uploads,
+            server_queue: &mut *server_queue,
+            recorder: &mut *rec,
+            delay_memo: None,
+        };
+        CommandInterpreter::flush_peer(actor, outbox, &mut sub, |sub, report| {
+            sink.on_report(now, report);
+            record_report(sub.recorder, now, &report);
+            if let Report::PlaybackStarted { node, video, .. } = report {
+                if let Some(watched) = director.on_playback_started(node, video) {
+                    // A real playback: sample maintenance overhead and
+                    // schedule the end of the watch.
+                    let links = peers[node.index()]
+                        .as_ref()
+                        .expect("playback on a node owned by another shard")
+                        .link_count();
+                    sink.on_link_sample(watched, links);
+                    let length = catalog
+                        .video(video)
+                        .map(|v| SimDuration::from_secs(u64::from(v.length_secs())))
+                        .unwrap_or(SimDuration::from_secs(60));
+                    sub.engine.schedule_in(length, Ev::WatchEnd(node));
+                }
+            }
+        });
+    }
+    {
+        let mut sub = SimSubstrate {
+            now,
+            engine: &mut *engine,
+            latency,
+            uploads: &mut *uploads,
+            server_queue: &mut *server_queue,
+            recorder: &mut *rec,
+            delay_memo: None,
+        };
+        interpreter.flush_server(server_outbox, &mut sub, |sub, report| {
+            sink.on_report(now, report);
+            record_report(sub.recorder, now, &report);
+        });
+    }
+    sink.on_server_busy(server_queue.busy_until());
+}
+
+/// The serial run loop: all serial entry points funnel here with an
+/// explicit root seed and a pre-built catalog handle.
 ///
 /// The loop itself owns only the virtual clock and event dispatch; the
 /// stack comes from [`StackBuilder`], session logic from
@@ -250,39 +635,49 @@ fn run_with_catalog<R: Recorder>(
     let root = SimRng::seed(seed ^ 0x50c1_a17b);
     let users = trace.graph.user_count();
 
-    let ProtocolStack {
-        mut peers,
-        mut server,
-    } = StackBuilder::from_options(protocol, Arc::clone(&catalog), options).build(trace, &root);
-    let mut director = SessionDirector::new(users, options.workload.clone(), &root);
-    let interpreter = CommandInterpreter::new(Arc::clone(&catalog));
+    let ProtocolStack { peers, server } =
+        StackBuilder::from_options(protocol, Arc::clone(&catalog), options).build(trace, &root);
+    let director = SessionDirector::new(users, options.workload.clone(), &root);
     let latency = LatencyModel::new(
         &root,
         options.network.latency_min,
         options.network.latency_max,
     );
-    let mut uploads = UploadScheduler::new(users, options.network.peer_upload_bps);
-    let mut server_queue = ServerQueue::new(options.network.server_bandwidth_bps);
+    let interpreter = CommandInterpreter::new(Arc::clone(&catalog));
+    let mut world = World {
+        trace,
+        catalog,
+        interpreter,
+        latency,
+        peers: peers.into_iter().map(Some).collect(),
+        server: Some(server),
+        director,
+        uploads: UploadScheduler::new(users, options.network.peer_upload_bps),
+        server_queue: ServerQueue::new(options.network.server_bandwidth_bps),
+        outbox: Outbox::new(),
+        server_outbox: ServerOutbox::new(),
+        tracked_peak: 0,
+    };
     let mut metrics = MetricsCollector::new(users);
     let mut engine: Engine<Ev> = Engine::new();
     engine.set_event_budget(options.max_events);
-    let mut tracked_peak = 0usize;
 
     // Staggered first logins, offsets drawn by the director.
     for u in 0..users {
         let node = NodeId::new(u as u32);
-        engine.schedule_at(SimTime::ZERO + director.login_offset(node), Ev::Login(node));
+        engine.schedule_at(
+            SimTime::ZERO + world.director.login_offset(node),
+            Ev::Login(node),
+        );
     }
 
-    let mut outbox = Outbox::new();
-    let mut server_outbox = ServerOutbox::new();
     let mut backlog_sampler = PeriodicSampler::new(SimDuration::from_mins(1));
     let mut server_backlog_timeline: Vec<(u64, SimDuration)> = Vec::new();
 
     while let Some((now, ev)) = engine.next_event() {
         if backlog_sampler.due(now) > 0 {
             let minute = now.as_micros() / 60_000_000;
-            let backlog = server_queue.backlog(now);
+            let backlog = world.server_queue.backlog(now);
             server_backlog_timeline.push((minute, backlog));
             if R::ENABLED {
                 let depth = engine.pending() as u64;
@@ -307,131 +702,10 @@ fn run_with_catalog<R: Recorder>(
                 );
             }
         }
-        if R::ENABLED {
-            rec.count(match &ev {
-                Ev::Login(_) => Counter::EvLogin,
-                Ev::Logout(_) => Counter::EvLogout,
-                Ev::NextVideo(_) => Counter::EvNextVideo,
-                Ev::WatchEnd(_) => Counter::EvWatchEnd,
-                Ev::PeerMsg { .. } => Counter::EvPeerMsg,
-                Ev::ServerMsg { .. } => Counter::EvServerMsg,
-                Ev::PeerTimer { .. } => Counter::EvPeerTimer,
-            });
-        }
-        // The peer whose commands the outbox will carry after this event.
-        let mut actor: Option<NodeId> = None;
-        match ev {
-            Ev::Login(node) => {
-                actor = Some(node);
-                director.on_login(node);
-                peers[node.index()].on_login(now, &mut outbox);
-                engine.schedule_in(director.workload().browse_delay, Ev::NextVideo(node));
-                if R::ENABLED {
-                    rec.span_begin(Track::Peer(node.as_u32()), "session", now.as_micros());
-                }
-            }
-
-            Ev::Logout(node) => {
-                actor = Some(node);
-                if R::ENABLED {
-                    rec.span_end(Track::Peer(node.as_u32()), now.as_micros());
-                }
-                peers[node.index()].on_logout(now, &mut outbox);
-                if director.is_abrupt_exit(node) {
-                    // Abrupt failure: the process died before any goodbye
-                    // could leave the machine. Dropping the outbox models
-                    // exactly that — neighbors and the server only learn of
-                    // the departure through probe timeouts.
-                    outbox.drain();
-                    actor = None;
-                }
-                if let Some(off) = director.on_logout(node) {
-                    engine.schedule_in(off, Ev::Login(node));
-                }
-            }
-
-            Ev::NextVideo(node) => {
-                actor = Some(node);
-                if peers[node.index()].is_online() {
-                    if let Some(video) = director.next_video(trace, node) {
-                        peers[node.index()].watch(now, video, &mut outbox);
-                    }
-                }
-            }
-
-            Ev::WatchEnd(node) => {
-                if peers[node.index()].is_online() {
-                    match director.on_watch_end(node) {
-                        SessionStep::Continue(browse) => {
-                            engine.schedule_in(browse, Ev::NextVideo(node));
-                        }
-                        SessionStep::EndSession => {
-                            engine.schedule_at(now, Ev::Logout(node));
-                        }
-                    }
-                }
-            }
-
-            Ev::PeerMsg { to, from, msg } => {
-                actor = Some(to);
-                if peers[to.index()].is_online() {
-                    peers[to.index()].on_message(now, from, msg, &mut outbox);
-                }
-            }
-
-            Ev::ServerMsg { from, msg } => {
-                server.on_message(now, from, msg, &mut server_outbox);
-                tracked_peak = tracked_peak.max(server.tracked_entries());
-            }
-
-            Ev::PeerTimer { node, kind } => {
-                actor = Some(node);
-                peers[node.index()].on_timer(now, kind, &mut outbox);
-            }
-        }
-
-        if let Some(actor) = actor {
-            let mut sub = SimSubstrate {
-                now,
-                engine: &mut engine,
-                latency: &latency,
-                uploads: &mut uploads,
-                server_queue: &mut server_queue,
-                recorder: &mut *rec,
-                delay_memo: None,
-            };
-            CommandInterpreter::flush_peer(actor, &mut outbox, &mut sub, |sub, report| {
-                metrics.on_report(now, report);
-                record_report(sub.recorder, now, &report);
-                if let Report::PlaybackStarted { node, video, .. } = report {
-                    if let Some(watched) = director.on_playback_started(node, video) {
-                        // A real playback: sample maintenance overhead and
-                        // schedule the end of the watch.
-                        metrics.sample_links(watched, peers[node.index()].link_count());
-                        let length = catalog
-                            .video(video)
-                            .map(|v| SimDuration::from_secs(u64::from(v.length_secs())))
-                            .unwrap_or(SimDuration::from_secs(60));
-                        sub.engine.schedule_in(length, Ev::WatchEnd(node));
-                    }
-                }
-            });
-        }
-        {
-            let mut sub = SimSubstrate {
-                now,
-                engine: &mut engine,
-                latency: &latency,
-                uploads: &mut uploads,
-                server_queue: &mut server_queue,
-                recorder: &mut *rec,
-                delay_memo: None,
-            };
-            interpreter.flush_server(&mut server_outbox, &mut sub, |sub, report| {
-                metrics.on_report(now, report);
-                record_report(sub.recorder, now, &report);
-            });
-        }
+        let mut sink = SerialSink {
+            metrics: &mut metrics,
+        };
+        handle_event(&mut world, &mut engine, rec, &mut sink, now, ev);
     }
     if R::ENABLED {
         // The high-water mark complements the per-minute samples: a burst
@@ -440,20 +714,512 @@ fn run_with_catalog<R: Recorder>(
     }
 
     let contributions: Vec<f64> = (0..users)
-        .map(|u| uploads.bits_uploaded(u) as f64)
+        .map(|u| world.uploads.bits_uploaded(u) as f64)
         .collect();
     SimOutcome {
         metrics: metrics.summary(),
         events: engine.processed(),
         sim_end: engine.now(),
-        server_bits_served: server_queue.bits_served(),
-        server_tracked_peak: tracked_peak,
+        server_bits_served: world.server_queue.bits_served(),
+        server_tracked_peak: world.tracked_peak,
         upload_fairness: socialtube_trace::stats::jain_fairness(&contributions),
         server_backlog_timeline,
-        queue_peak: engine.peak_pending(),
+        shards: vec![ShardLoad {
+            shard: 0,
+            events: engine.processed(),
+            queue_peak: engine.peak_pending(),
+            peers: users,
+        }],
         truncated: engine.budget_exhausted(),
         recording: None,
     }
+}
+
+/// Partitions nodes across `shards` by interest community: a node's
+/// community key is its first subscription channel (the channel overlay it
+/// will do most of its messaging inside), so community-internal traffic —
+/// the bulk of SocialTube's message load — stays shard-local. Communities
+/// larger than a fair share are split; the resulting chunks are packed
+/// greedily onto the least-loaded shard, largest first. Deterministic by
+/// construction (BTreeMap grouping, stable tie-breaks).
+fn partition_by_interest(trace: &Trace, shards: usize) -> Vec<usize> {
+    let users = trace.graph.user_count();
+    let mut groups: BTreeMap<Option<socialtube_model::ChannelId>, Vec<usize>> = BTreeMap::new();
+    for u in 0..users {
+        let key = trace
+            .graph
+            .user(NodeId::new(u as u32))
+            .ok()
+            .and_then(|user| user.subscriptions().first().copied());
+        groups.entry(key).or_default().push(u);
+    }
+    let cap = users.div_ceil(shards).max(1);
+    let mut chunks: Vec<&[usize]> = Vec::new();
+    for members in groups.values() {
+        chunks.extend(members.chunks(cap));
+    }
+    chunks.sort_by_key(|c| (std::cmp::Reverse(c.len()), c[0]));
+    let mut load = vec![0usize; shards];
+    let mut shard_of = vec![0usize; users];
+    for chunk in chunks {
+        let s = (0..shards)
+            .min_by_key(|&s| (load[s], s))
+            .expect("at least one shard");
+        load[s] += chunk.len();
+        for &u in chunk {
+            shard_of[u] = s;
+        }
+    }
+    shard_of
+}
+
+/// Which shard processes an event: node events go to the node's owner,
+/// server messages to the server-owning shard 0.
+fn route_shard(ev: &Ev, shard_of: &[usize]) -> usize {
+    match ev {
+        Ev::ServerMsg { .. } => 0,
+        Ev::Login(n) | Ev::Logout(n) | Ev::NextVideo(n) | Ev::WatchEnd(n) => shard_of[n.index()],
+        Ev::PeerMsg { to, .. } => shard_of[to.index()],
+        Ev::PeerTimer { node, .. } => shard_of[node.index()],
+    }
+}
+
+/// One epoch's work order for a worker.
+enum ToWorker {
+    /// Drain the window ending (exclusively) at `end`, after inserting the
+    /// routed cross-epoch deliveries.
+    Epoch {
+        end: SimTime,
+        deliveries: Vec<Delivery<Ev>>,
+    },
+    /// The run is over; return the shard's final figures.
+    Finish,
+}
+
+/// What one shard hands the coordinator at an epoch barrier.
+struct EpochOut {
+    shard: usize,
+    log: EpochLog<Ev>,
+    /// Phase-1 metric notes, bucketed per processed event by `note_ends`.
+    notes: Vec<MetricNote>,
+    /// `notes` index after each processed event, aligned with the log's
+    /// entries — the coordinator's replay cursor boundary.
+    note_ends: Vec<u32>,
+    /// Timestamp of the shard's earliest still-pending event.
+    next: Option<SimTime>,
+}
+
+/// A shard's final figures, returned when the run finishes.
+struct ShardFinal<R> {
+    shard: usize,
+    peers: usize,
+    processed: u64,
+    peak_pending: usize,
+    pending: usize,
+    /// `(node, bits)` for every owned node, for the fairness vector.
+    bits_uploaded: Vec<(usize, u64)>,
+    server_bits_served: u64,
+    tracked_peak: usize,
+    recorder: R,
+}
+
+/// Runs one epoch on one shard: insert deliveries, drain the window
+/// (logging per-event note boundaries), then take a per-shard queue-depth
+/// sample at most once per simulated minute.
+#[allow(clippy::too_many_arguments)] // one call site; the args are the shard's whole state
+fn run_shard_epoch<R: Recorder>(
+    shard: usize,
+    world: &mut World<'_>,
+    engine: &mut ShardEngine<Ev>,
+    rec: &mut R,
+    sink: &mut ShardSink,
+    sampler: &mut PeriodicSampler,
+    end: SimTime,
+    deliveries: Vec<Delivery<Ev>>,
+) -> EpochOut {
+    for d in deliveries {
+        engine.deliver(d.at, d.seq, d.event);
+    }
+    engine.begin_epoch(end);
+    let mut note_ends: Vec<u32> = Vec::new();
+    while let Some((now, ev)) = engine.pop_epoch_event() {
+        handle_event(world, engine, rec, sink, now, ev);
+        note_ends.push(u32::try_from(sink.notes.len()).expect("notes fit in u32"));
+    }
+    let log = engine.take_epoch_log();
+    if R::ENABLED && sampler.due(end) > 0 {
+        let depth = engine.pending() as u64;
+        rec.observe(HistKind::QueueDepth, depth);
+        rec.sample(
+            Track::Shard(shard as u32),
+            "queue_depth",
+            end.as_micros(),
+            depth,
+        );
+        let occupancy = engine.queue_occupancy();
+        rec.observe(
+            HistKind::QueueBucketOccupancy,
+            occupancy.occupied_buckets as u64,
+        );
+        rec.sample(
+            Track::Shard(shard as u32),
+            "queue_buckets",
+            end.as_micros(),
+            occupancy.occupied_buckets as u64,
+        );
+    }
+    EpochOut {
+        shard,
+        log,
+        notes: std::mem::take(&mut sink.notes),
+        note_ends,
+        next: engine.peek_time(),
+    }
+}
+
+/// Wraps up one shard at the end of the run.
+fn finish_shard<R: Recorder>(
+    shard: usize,
+    world: World<'_>,
+    engine: ShardEngine<Ev>,
+    mut rec: R,
+) -> ShardFinal<R> {
+    if R::ENABLED {
+        rec.observe(HistKind::QueueDepth, engine.peak_pending() as u64);
+    }
+    let bits_uploaded: Vec<(usize, u64)> = world
+        .peers
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_some())
+        .map(|(u, _)| (u, world.uploads.bits_uploaded(u)))
+        .collect();
+    ShardFinal {
+        shard,
+        peers: bits_uploaded.len(),
+        processed: engine.processed(),
+        peak_pending: engine.peak_pending(),
+        pending: engine.pending(),
+        bits_uploaded,
+        server_bits_served: world.server_queue.bits_served(),
+        tracked_peak: world.tracked_peak,
+        recorder: rec,
+    }
+}
+
+/// A worker thread's whole life: drain epochs on request, then report.
+fn shard_worker<R: Recorder>(
+    shard: usize,
+    mut world: World<'_>,
+    mut engine: ShardEngine<Ev>,
+    mut rec: R,
+    rx: mpsc::Receiver<ToWorker>,
+    tx: mpsc::Sender<EpochOut>,
+) -> ShardFinal<R> {
+    let mut sink = ShardSink::new();
+    let mut sampler = PeriodicSampler::new(SimDuration::from_mins(1));
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToWorker::Epoch { end, deliveries } => {
+                let out = run_shard_epoch(
+                    shard,
+                    &mut world,
+                    &mut engine,
+                    &mut rec,
+                    &mut sink,
+                    &mut sampler,
+                    end,
+                    deliveries,
+                );
+                if tx.send(out).is_err() {
+                    break;
+                }
+            }
+            ToWorker::Finish => break,
+        }
+    }
+    finish_shard(shard, world, engine, rec)
+}
+
+/// The sharded run loop: partitions the world by interest community,
+/// advances every shard in conservative epochs on worker threads (shard 0
+/// runs inline on the coordinator), and folds order-sensitive side effects
+/// back into the canonical serial order at each barrier — producing a
+/// [`SimOutcome`] bitwise identical to the serial executor's.
+///
+/// The epoch length is the largest 1024 µs bucket multiple not exceeding
+/// the minimum pairwise latency (the conservative lookahead); every
+/// sub-lookahead schedule the driver makes is same-node, hence same-shard,
+/// which is what makes the window safe.
+///
+/// Returns the outcome plus each shard's recorder, in shard order.
+///
+/// # Panics
+///
+/// Panics if `shards` is 0 or the configured minimum latency is below one
+/// calendar bucket (no conservative lookahead exists).
+fn run_sharded_with<R, F>(
+    trace: &Trace,
+    catalog: Arc<Catalog>,
+    protocol: Protocol,
+    options: &ExperimentOptions,
+    seed: u64,
+    shards: usize,
+    make_recorder: F,
+) -> (SimOutcome, Vec<R>)
+where
+    R: Recorder + Send,
+    F: Fn(usize) -> R,
+{
+    assert!(shards >= 1, "sharded execution needs at least one shard");
+    let epoch = epoch_length(options.network.latency_min).unwrap_or_else(|| {
+        panic!(
+            "sharded execution needs latency_min >= {} us (the calendar bucket) \
+             for a conservative lookahead; got {} us",
+            socialtube_sim::EPOCH_ALIGN_US,
+            options.network.latency_min.as_micros()
+        )
+    });
+    let epoch_us = epoch.as_micros();
+
+    let root = SimRng::seed(seed ^ 0x50c1_a17b);
+    let users = trace.graph.user_count();
+
+    // Identical construction to the serial path: every RNG consumer draws
+    // from an independent labelled stream off the root, so build order is
+    // immaterial and both executors see the same randomness.
+    let ProtocolStack { peers, server } =
+        StackBuilder::from_options(protocol, Arc::clone(&catalog), options).build(trace, &root);
+    let director = SessionDirector::new(users, options.workload.clone(), &root);
+    let latency = LatencyModel::new(
+        &root,
+        options.network.latency_min,
+        options.network.latency_max,
+    );
+    let login_offsets: Vec<SimDuration> = (0..users)
+        .map(|u| director.login_offset(NodeId::new(u as u32)))
+        .collect();
+
+    let shard_of = partition_by_interest(trace, shards);
+    let directors = director.partition(&shard_of, shards);
+
+    // Deal the stack's peers into per-shard full-length slot vectors.
+    let mut peer_slots: Vec<Vec<Option<Box<dyn VodPeer + Send>>>> = (0..shards)
+        .map(|_| (0..users).map(|_| None).collect())
+        .collect();
+    for (u, p) in peers.into_iter().enumerate() {
+        peer_slots[shard_of[u]][u] = Some(p);
+    }
+
+    let mut server = Some(server);
+    let mut worlds: Vec<World<'_>> = Vec::with_capacity(shards);
+    for (s, (slots, director)) in peer_slots.into_iter().zip(directors).enumerate() {
+        worlds.push(World {
+            trace,
+            catalog: Arc::clone(&catalog),
+            interpreter: CommandInterpreter::new(Arc::clone(&catalog)),
+            latency: latency.clone(),
+            peers: slots,
+            server: if s == 0 { server.take() } else { None },
+            director,
+            uploads: UploadScheduler::new(users, options.network.peer_upload_bps),
+            server_queue: ServerQueue::new(options.network.server_bandwidth_bps),
+            outbox: Outbox::new(),
+            server_outbox: ServerOutbox::new(),
+            tracked_peak: 0,
+        });
+    }
+
+    let mut engines: Vec<ShardEngine<Ev>> = (0..shards).map(|_| ShardEngine::new()).collect();
+    // The initial logins occupy canonical sequence numbers 0..users, in
+    // node order — exactly the serial engine's assignment.
+    for u in 0..users {
+        let node = NodeId::new(u as u32);
+        engines[shard_of[u]].deliver(SimTime::ZERO + login_offsets[u], u as u64, Ev::Login(node));
+    }
+
+    let mut merge = MergeState::new(shards, users as u64);
+    let mut metrics = MetricsCollector::new(users);
+    let mut backlog_sampler = PeriodicSampler::new(SimDuration::from_mins(1));
+    let mut server_backlog_timeline: Vec<(u64, SimDuration)> = Vec::new();
+    // The server pipe's busy-until watermark in canonical order, tracked
+    // from BusyUntil notes so backlog samples replay without the queue.
+    let mut current_busy = SimTime::ZERO;
+    let mut sim_end = SimTime::ZERO;
+    let mut processed_total = 0u64;
+    let budget = options.max_events;
+    let mut budget_hit = false;
+    let mut routed: Vec<Vec<Delivery<Ev>>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut next_times: Vec<Option<SimTime>> = engines.iter().map(|e| e.peek_time()).collect();
+
+    let mut worlds_iter = worlds.into_iter();
+    let mut engines_iter = engines.into_iter();
+    let mut world0 = worlds_iter.next().expect("shard 0 exists");
+    let mut engine0 = engines_iter.next().expect("shard 0 exists");
+    let mut rec0 = make_recorder(0);
+    let mut sink0 = ShardSink::new();
+    let mut sampler0 = PeriodicSampler::new(SimDuration::from_mins(1));
+
+    let (finals, truncated) = std::thread::scope(|scope| {
+        let (out_tx, out_rx) = mpsc::channel::<EpochOut>();
+        let mut to_workers: Vec<mpsc::Sender<ToWorker>> = Vec::with_capacity(shards - 1);
+        let mut handles = Vec::with_capacity(shards - 1);
+        for (i, (world, engine)) in worlds_iter.zip(engines_iter).enumerate() {
+            let shard = i + 1;
+            let (tx, rx) = mpsc::channel::<ToWorker>();
+            let out_tx = out_tx.clone();
+            let rec = make_recorder(shard);
+            to_workers.push(tx);
+            handles.push(scope.spawn(move || shard_worker(shard, world, engine, rec, rx, out_tx)));
+        }
+
+        loop {
+            // The earliest pending instant anywhere: shard queues plus
+            // routed-but-undelivered cross-epoch traffic.
+            let mut next: Option<SimTime> = None;
+            let mut fold = |t: SimTime| next = Some(next.map_or(t, |n| n.min(t)));
+            for t in next_times.iter().flatten() {
+                fold(*t);
+            }
+            for q in &routed {
+                for d in q {
+                    fold(d.at);
+                }
+            }
+            let Some(next) = next else {
+                break;
+            };
+            if budget > 0 && processed_total >= budget {
+                // The budget gate sits at epoch granularity: a sharded run
+                // may overshoot `max_events` by up to one epoch's worth of
+                // events before stopping (the serial engine stops exactly).
+                budget_hit = true;
+                break;
+            }
+            let end = SimTime::from_micros((next.as_micros() / epoch_us + 1) * epoch_us);
+
+            for (i, tx) in to_workers.iter().enumerate() {
+                let deliveries = std::mem::take(&mut routed[i + 1]);
+                tx.send(ToWorker::Epoch { end, deliveries })
+                    .expect("shard worker alive");
+            }
+            let out0 = run_shard_epoch(
+                0,
+                &mut world0,
+                &mut engine0,
+                &mut rec0,
+                &mut sink0,
+                &mut sampler0,
+                end,
+                std::mem::take(&mut routed[0]),
+            );
+            let mut outs: Vec<Option<EpochOut>> = (0..shards).map(|_| None).collect();
+            outs[0] = Some(out0);
+            for _ in 1..shards {
+                let out = out_rx.recv().expect("shard worker alive");
+                let s = out.shard;
+                outs[s] = Some(out);
+            }
+            let mut logs: Vec<EpochLog<Ev>> = Vec::with_capacity(shards);
+            let mut notes: Vec<Vec<MetricNote>> = Vec::with_capacity(shards);
+            let mut note_ends: Vec<Vec<u32>> = Vec::with_capacity(shards);
+            for (s, out) in outs.into_iter().enumerate() {
+                let out = out.expect("one epoch result per shard");
+                debug_assert_eq!(out.shard, s);
+                next_times[s] = out.next;
+                logs.push(out.log);
+                notes.push(out.notes);
+                note_ends.push(out.note_ends);
+            }
+
+            // Barrier: replay this epoch's events in canonical serial
+            // order, folding each one's queued side effects into the
+            // collector and taking backlog samples exactly where the
+            // serial loop would (before the event's own effects land).
+            let mut entry_cursor = vec![0usize; shards];
+            let mut note_cursor = vec![0usize; shards];
+            let replay = merge.replay(logs, |s, time| {
+                if backlog_sampler.due(time) > 0 {
+                    let minute = time.as_micros() / 60_000_000;
+                    let backlog = if current_busy > time {
+                        current_busy.duration_since(time)
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    server_backlog_timeline.push((minute, backlog));
+                }
+                let until = note_ends[s][entry_cursor[s]] as usize;
+                entry_cursor[s] += 1;
+                while note_cursor[s] < until {
+                    match notes[s][note_cursor[s]] {
+                        MetricNote::Report(report) => metrics.on_report(time, report),
+                        MetricNote::LinkSample { watched, links } => {
+                            metrics.sample_links(watched, links);
+                        }
+                        MetricNote::BusyUntil(busy) => current_busy = busy,
+                    }
+                    note_cursor[s] += 1;
+                }
+            });
+            debug_assert!(
+                (0..shards)
+                    .all(|s| note_cursor[s] == notes[s].len()
+                        && entry_cursor[s] == note_ends[s].len()),
+                "replay left notes behind"
+            );
+            processed_total += replay.replayed;
+            if let Some(t) = replay.last_time {
+                sim_end = t;
+            }
+            for d in replay.deliveries {
+                let s = route_shard(&d.event, &shard_of);
+                routed[s].push(d);
+            }
+        }
+
+        for tx in &to_workers {
+            let _ = tx.send(ToWorker::Finish);
+        }
+        let mut finals: Vec<ShardFinal<R>> = Vec::with_capacity(shards);
+        finals.push(finish_shard(0, world0, engine0, rec0));
+        for h in handles {
+            finals.push(h.join().expect("shard worker panicked"));
+        }
+        finals.sort_by_key(|f| f.shard);
+        let truncated = budget_hit
+            && (finals.iter().any(|f| f.pending > 0) || routed.iter().any(|q| !q.is_empty()));
+        (finals, truncated)
+    });
+
+    let mut contributions = vec![0f64; users];
+    for f in &finals {
+        for &(u, bits) in &f.bits_uploaded {
+            contributions[u] = bits as f64;
+        }
+    }
+    let shard_loads: Vec<ShardLoad> = finals
+        .iter()
+        .map(|f| ShardLoad {
+            shard: f.shard,
+            events: f.processed,
+            queue_peak: f.peak_pending,
+            peers: f.peers,
+        })
+        .collect();
+    let outcome = SimOutcome {
+        metrics: metrics.summary(),
+        events: processed_total,
+        sim_end,
+        server_bits_served: finals[0].server_bits_served,
+        server_tracked_peak: finals[0].tracked_peak,
+        upload_fairness: socialtube_trace::stats::jain_fairness(&contributions),
+        server_backlog_timeline,
+        shards: shard_loads,
+        truncated,
+        recording: None,
+    };
+    let recorders = finals.into_iter().map(|f| f.recorder).collect();
+    (outcome, recorders)
 }
 
 #[cfg(test)]
@@ -545,6 +1311,7 @@ mod tests {
             .seed(7);
         assert_eq!(spec.effective_seed(), 7);
         assert_eq!(spec.protocol(), Protocol::PaVod);
+        assert_eq!(spec.execution_mode(), Execution::Serial);
         options.seed = 7;
         let via_override = spec.run();
         let via_options = RunSpec::new(Protocol::PaVod).options(options).run();
@@ -582,6 +1349,108 @@ mod tests {
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.events, b.events);
         assert_eq!(a.sim_end, b.sim_end);
+    }
+
+    /// The tentpole's contract: the sharded executor reconstructs the
+    /// serial run bit for bit — every outcome field, not statistically —
+    /// across protocols, seeds and shard counts.
+    #[test]
+    fn sharded_runs_are_bitwise_identical_to_serial() {
+        let options = configs::smoke_test();
+        for p in [Protocol::SocialTube, Protocol::NetTube, Protocol::PaVod] {
+            for seed in [1u64, 7, 1234] {
+                let serial = RunSpec::new(p).options(options.clone()).seed(seed).run();
+                for workers in [1usize, 2, 4] {
+                    let tag = format!("{p} seed={seed} workers={workers}");
+                    let sharded = RunSpec::new(p)
+                        .options(options.clone())
+                        .seed(seed)
+                        .execution(Execution::Sharded { workers })
+                        .run();
+                    assert_eq!(serial.metrics, sharded.metrics, "{tag}: metrics");
+                    assert_eq!(serial.events, sharded.events, "{tag}: events");
+                    assert_eq!(serial.sim_end, sharded.sim_end, "{tag}: sim_end");
+                    assert_eq!(
+                        serial.server_bits_served, sharded.server_bits_served,
+                        "{tag}: server bits"
+                    );
+                    assert_eq!(
+                        serial.server_tracked_peak, sharded.server_tracked_peak,
+                        "{tag}: tracked peak"
+                    );
+                    assert_eq!(
+                        serial.upload_fairness, sharded.upload_fairness,
+                        "{tag}: fairness"
+                    );
+                    assert_eq!(
+                        serial.server_backlog_timeline, sharded.server_backlog_timeline,
+                        "{tag}: backlog timeline"
+                    );
+                    assert_eq!(serial.truncated, sharded.truncated, "{tag}: truncated");
+                    assert_eq!(sharded.shards.len(), workers, "{tag}: shard count");
+                    assert_eq!(
+                        sharded.shards.iter().map(|s| s.events).sum::<u64>(),
+                        sharded.events,
+                        "{tag}: per-shard events sum"
+                    );
+                    assert_eq!(
+                        sharded.shards.iter().map(|s| s.peers).sum::<usize>(),
+                        serial.shards[0].peers,
+                        "{tag}: per-shard peers sum"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_recording_is_invisible_to_the_run() {
+        let options = configs::smoke_test();
+        let exec = Execution::Sharded { workers: 2 };
+        let plain = RunSpec::new(Protocol::SocialTube)
+            .options(options.clone())
+            .execution(exec)
+            .run();
+        let recorded = RunSpec::new(Protocol::SocialTube)
+            .options(options)
+            .execution(exec)
+            .with_recorder(socialtube_obs::RecorderConfig::full())
+            .run();
+        assert_eq!(plain.metrics, recorded.metrics, "metrics diverged");
+        assert_eq!(plain.events, recorded.events, "event count diverged");
+        assert_eq!(plain.sim_end, recorded.sim_end, "drain time diverged");
+        assert!(plain.recording.is_none());
+        let recording = recorded.recording.expect("recording requested");
+        assert!(recording.snapshot.counter("ev_login") > 0);
+        assert!(!recording
+            .timeline
+            .expect("timeline requested")
+            .events()
+            .is_empty());
+    }
+
+    #[test]
+    fn interest_partition_covers_every_node_and_balances() {
+        let options = configs::smoke_test();
+        let shared = socialtube_trace::generate_shared(&options.trace, options.seed);
+        let users = shared.trace().graph.user_count();
+        for shards in [1usize, 2, 4, 7] {
+            let shard_of = partition_by_interest(shared.trace(), shards);
+            assert_eq!(shard_of.len(), users);
+            let mut load = vec![0usize; shards];
+            for &s in &shard_of {
+                assert!(s < shards, "shard index out of range");
+                load[s] += 1;
+            }
+            assert_eq!(load.iter().sum::<usize>(), users, "every node assigned");
+            // Greedy packing of ≤fair-share chunks never puts more than
+            // two fair shares on one shard.
+            let cap = users.div_ceil(shards).max(1);
+            assert!(
+                load.iter().all(|&l| l <= 2 * cap),
+                "{shards} shards: unbalanced loads {load:?}"
+            );
+        }
     }
 
     #[test]

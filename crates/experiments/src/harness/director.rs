@@ -7,9 +7,18 @@ use socialtube_trace::Trace;
 use crate::workload::{WorkloadConfig, WorkloadPlanner};
 
 /// Per-node session bookkeeping.
+///
+/// All of a node's randomness lives here, in per-node indexed streams, so a
+/// node's draws depend only on its own event history — never on how its
+/// events interleave with other nodes'. That independence is what lets a
+/// sharded
+/// run partition nodes across directors and still replay the identical
+/// sequences.
 #[derive(Debug)]
 struct NodeSession {
     churn: ChurnProcess,
+    planner: WorkloadPlanner,
+    fail_rng: SimRng,
     videos_left_in_session: u32,
     videos_watched_total: u32,
     current_video: Option<VideoId>,
@@ -34,9 +43,11 @@ pub enum SessionStep {
 /// *identical* session logic; the platform only decides when transitions
 /// fire (virtual vs wall-clock time) and performs the side effects (calling
 /// into peers, scheduling). All workload randomness lives here, derived
-/// from the driver's root RNG under the stable stream labels `"workload"`,
-/// `"stagger"`, `"failures"` and indexed `"churn"` — the same labels the
-/// pre-harness driver used, keeping simulations bitwise reproducible.
+/// from the driver's root RNG under the stable stream labels `"stagger"`
+/// and *per-node indexed* `"workload"`, `"failures"` and `"churn"` streams.
+/// Per-node streams make every node's draw sequence a pure function of its
+/// own event history, so runs stay bitwise reproducible no matter how node
+/// events interleave — including across the shards of a sharded run.
 ///
 /// Call discipline (per node): [`login_offset`](Self::login_offset) once at
 /// start-up, then for each session [`on_login`](Self::on_login) →
@@ -46,10 +57,10 @@ pub enum SessionStep {
 #[derive(Debug)]
 pub struct SessionDirector {
     workload: WorkloadConfig,
-    planner: WorkloadPlanner,
-    fail_rng: SimRng,
     stagger: Vec<SimDuration>,
-    nodes: Vec<NodeSession>,
+    /// One slot per node; `None` when the node's session state has been
+    /// moved into another director by [`partition`](Self::partition).
+    nodes: Vec<Option<NodeSession>>,
 }
 
 impl SessionDirector {
@@ -57,11 +68,11 @@ impl SessionDirector {
     /// randomness from `root`.
     ///
     /// Draw order is part of the reproducibility contract: one stagger
-    /// offset per node, in node order, from the `"stagger"` stream.
+    /// offset per node, in node order, from the `"stagger"` stream. All
+    /// other streams are per-node indexed, so their draws depend only on
+    /// each node's own history.
     pub fn new(users: usize, workload: WorkloadConfig, root: &SimRng) -> Self {
         use rand::Rng;
-        let planner = WorkloadPlanner::new(root.stream("workload"));
-        let fail_rng = root.stream("failures");
         let mut stagger_rng = root.stream("stagger");
         let mut nodes = Vec::with_capacity(users);
         let mut stagger = Vec::with_capacity(users);
@@ -74,22 +85,22 @@ impl SessionDirector {
                 workload.mean_off,
                 workload.sessions_per_node.saturating_sub(1),
             );
-            nodes.push(NodeSession {
+            nodes.push(Some(NodeSession {
                 churn,
+                planner: WorkloadPlanner::new(root.stream_indexed("workload", u as u64)),
+                fail_rng: root.stream_indexed("failures", u as u64),
                 videos_left_in_session: 0,
                 videos_watched_total: 0,
                 current_video: None,
                 awaiting_playback: false,
                 abrupt_next: false,
-            });
+            }));
             stagger.push(SimDuration::from_micros(
                 stagger_rng.gen_range(0..=workload.login_stagger.as_micros().max(1)),
             ));
         }
         Self {
             workload,
-            planner,
-            fail_rng,
             stagger,
             nodes,
         }
@@ -98,6 +109,37 @@ impl SessionDirector {
     /// Number of nodes under direction.
     pub fn users(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Consumes the director and deals its node sessions out to `shards`
+    /// new directors according to `shard_of` (one owning shard index per
+    /// node). Every returned director keeps full-length tables so node ids
+    /// index directly; only the owned slots are populated.
+    pub fn partition(self, shard_of: &[usize], shards: usize) -> Vec<SessionDirector> {
+        assert_eq!(shard_of.len(), self.nodes.len(), "one shard per node");
+        let mut parts: Vec<SessionDirector> = (0..shards)
+            .map(|_| SessionDirector {
+                workload: self.workload.clone(),
+                stagger: self.stagger.clone(),
+                nodes: (0..self.nodes.len()).map(|_| None).collect(),
+            })
+            .collect();
+        for (u, session) in self.nodes.into_iter().enumerate() {
+            parts[shard_of[u]].nodes[u] = session;
+        }
+        parts
+    }
+
+    fn node(&self, node: NodeId) -> &NodeSession {
+        self.nodes[node.index()]
+            .as_ref()
+            .expect("node owned by another shard's director")
+    }
+
+    fn node_mut(&mut self, node: NodeId) -> &mut NodeSession {
+        self.nodes[node.index()]
+            .as_mut()
+            .expect("node owned by another shard's director")
     }
 
     /// The workload parameters this director replays.
@@ -114,29 +156,31 @@ impl SessionDirector {
     /// deterministically, whether this session will end in an abrupt
     /// failure.
     pub fn on_login(&mut self, node: NodeId) {
-        let state = &mut self.nodes[node.index()];
-        state.videos_left_in_session = self.workload.videos_per_session;
-        state.abrupt_next = self.fail_rng.chance(self.workload.abrupt_departure_prob);
+        let videos = self.workload.videos_per_session;
+        let abrupt_prob = self.workload.abrupt_departure_prob;
+        let state = self.node_mut(node);
+        state.videos_left_in_session = videos;
+        state.abrupt_next = state.fail_rng.chance(abrupt_prob);
     }
 
     /// Whether the session that is now ending exits abruptly (no goodbyes
     /// leave the machine — the platform must drop the logout outbox).
     pub fn is_abrupt_exit(&self, node: NodeId) -> bool {
-        self.nodes[node.index()].abrupt_next
+        self.node(node).abrupt_next
     }
 
     /// A session ends. Returns the off period until the next login, or
     /// `None` when the node's session budget is spent.
     pub fn on_logout(&mut self, node: NodeId) -> Option<SimDuration> {
-        self.nodes[node.index()].churn.next_off_period()
+        self.node_mut(node).churn.next_off_period()
     }
 
     /// Picks `node`'s next video (75/15/10 selection mix over the trace)
     /// and marks the node as awaiting its playback.
     pub fn next_video(&mut self, trace: &Trace, node: NodeId) -> Option<VideoId> {
-        let prev = self.nodes[node.index()].current_video;
-        let video = self.planner.next_video(trace, node, prev)?;
-        let state = &mut self.nodes[node.index()];
+        let state = self.node_mut(node);
+        let prev = state.current_video;
+        let video = state.planner.next_video(trace, node, prev)?;
         state.current_video = Some(video);
         state.awaiting_playback = true;
         Some(video)
@@ -147,7 +191,7 @@ impl SessionDirector {
     /// session, or `None` for stale starts (e.g. a background fetch
     /// completing after the user moved on).
     pub fn on_playback_started(&mut self, node: NodeId, video: VideoId) -> Option<u32> {
-        let state = &mut self.nodes[node.index()];
+        let state = self.node_mut(node);
         if !state.awaiting_playback || state.current_video != Some(video) {
             return None;
         }
@@ -160,7 +204,7 @@ impl SessionDirector {
     /// The current watch concluded (the video played to its end): continue
     /// browsing or end the session.
     pub fn on_watch_end(&self, node: NodeId) -> SessionStep {
-        if self.nodes[node.index()].videos_left_in_session > 0 {
+        if self.node(node).videos_left_in_session > 0 {
             SessionStep::Continue(self.workload.browse_delay)
         } else {
             SessionStep::EndSession
@@ -172,7 +216,7 @@ impl SessionDirector {
     /// node was not awaiting a playback (the safety net raced a real
     /// start). Used by the real-time testbed's watch timeout.
     pub fn abandon_watch(&mut self, node: NodeId) -> Option<SessionStep> {
-        let state = &mut self.nodes[node.index()];
+        let state = self.node_mut(node);
         if !state.awaiting_playback {
             return None;
         }
@@ -183,7 +227,7 @@ impl SessionDirector {
 
     /// Total videos `node` has watched across all sessions.
     pub fn watched_total(&self, node: NodeId) -> u32 {
-        self.nodes[node.index()].videos_watched_total
+        self.node(node).videos_watched_total
     }
 }
 
@@ -261,6 +305,31 @@ mod tests {
         assert_eq!(d.abandon_watch(node), Some(SessionStep::EndSession));
         assert_eq!(d.abandon_watch(node), None, "second abandon is a no-op");
         assert_eq!(d.watched_total(node), 0, "abandoned watches don't count");
+    }
+
+    #[test]
+    fn partitioned_directors_replay_identical_sequences() {
+        let trace = generate(&TraceConfig::tiny(), 7);
+        let users = trace.graph.user_count();
+        let workload = WorkloadConfig::default();
+        let mut whole = director(users, workload.clone());
+        let shard_of: Vec<usize> = (0..users).map(|u| u % 3).collect();
+        let mut parts = director(users, workload).partition(&shard_of, 3);
+        // Drive nodes in an interleaving the whole director never saw;
+        // per-node streams make the draws identical anyway.
+        for u in (0..users).rev() {
+            let node = NodeId::new(u as u32);
+            let part = &mut parts[shard_of[u]];
+            assert_eq!(whole.login_offset(node), part.login_offset(node));
+            whole.on_login(node);
+            part.on_login(node);
+            assert_eq!(whole.is_abrupt_exit(node), part.is_abrupt_exit(node));
+            assert_eq!(
+                whole.next_video(&trace, node),
+                part.next_video(&trace, node)
+            );
+            assert_eq!(whole.on_logout(node), part.on_logout(node));
+        }
     }
 
     #[test]

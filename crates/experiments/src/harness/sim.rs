@@ -4,7 +4,9 @@ use socialtube::harness::{PeerSubstrate, ServerSubstrate};
 use socialtube::{Message, PeerAddr, TimerKind};
 use socialtube_model::NodeId;
 use socialtube_obs::{HistKind, NullRecorder, Recorder};
-use socialtube_sim::{Engine, LatencyModel, ServerQueue, SimDuration, SimTime, UploadScheduler};
+use socialtube_sim::{
+    EventScheduler, LatencyModel, ServerQueue, SimDuration, SimTime, UploadScheduler,
+};
 
 /// Constructors for the engine-event enum a simulation driver schedules.
 ///
@@ -37,11 +39,16 @@ pub trait SimEvent: Sized {
 /// waits are observed where they happen and report handlers (which receive
 /// the substrate) can feed protocol counters. With the default
 /// [`NullRecorder`] every observation compiles away.
-pub struct SimSubstrate<'a, E, R = NullRecorder> {
+///
+/// The scheduler is any [`EventScheduler`] — the serial
+/// [`Engine`](socialtube_sim::Engine) (the default) or one shard of the
+/// sharded executor — so protocol behaviour is a pure function of the
+/// scheduling trait and cannot observe which executor is running it.
+pub struct SimSubstrate<'a, S, R = NullRecorder> {
     /// The virtual time of the event being processed.
     pub now: SimTime,
-    /// The engine deliveries are scheduled onto.
-    pub engine: &'a mut Engine<E>,
+    /// The scheduler deliveries are scheduled onto.
+    pub engine: &'a mut S,
     /// Pairwise propagation delays.
     pub latency: &'a LatencyModel,
     /// Per-peer fluid upload links.
@@ -57,7 +64,7 @@ pub struct SimSubstrate<'a, E, R = NullRecorder> {
     pub delay_memo: Option<(u32, u32, SimDuration)>,
 }
 
-impl<E, R> std::fmt::Debug for SimSubstrate<'_, E, R> {
+impl<S, R> std::fmt::Debug for SimSubstrate<'_, S, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimSubstrate")
             .field("now", &self.now)
@@ -65,7 +72,7 @@ impl<E, R> std::fmt::Debug for SimSubstrate<'_, E, R> {
     }
 }
 
-impl<E, R> SimSubstrate<'_, E, R> {
+impl<S, R> SimSubstrate<'_, S, R> {
     /// Pairwise delay through the one-entry memo (pairs are symmetric).
     fn pair_delay(&mut self, a: u32, b: u32) -> SimDuration {
         let key = if a <= b { (a, b) } else { (b, a) };
@@ -80,11 +87,16 @@ impl<E, R> SimSubstrate<'_, E, R> {
     }
 }
 
-impl<E: SimEvent, R: Recorder> PeerSubstrate for SimSubstrate<'_, E, R> {
+impl<S, R> PeerSubstrate for SimSubstrate<'_, S, R>
+where
+    S: EventScheduler,
+    S::Event: SimEvent,
+    R: Recorder,
+{
     fn peer_control(&mut self, from: NodeId, to: NodeId, msg: Message) {
         let arrival = self.now + self.pair_delay(from.as_u32(), to.as_u32());
         self.engine
-            .schedule_at(arrival, E::peer_msg(to, PeerAddr::Peer(from), msg));
+            .schedule_at(arrival, S::Event::peer_msg(to, PeerAddr::Peer(from), msg));
     }
 
     fn peer_bulk(&mut self, from: NodeId, to: NodeId, bits: u64, msg: Message) {
@@ -95,24 +107,31 @@ impl<E: SimEvent, R: Recorder> PeerSubstrate for SimSubstrate<'_, E, R> {
         }
         let arrival = ready + self.pair_delay(from.as_u32(), to.as_u32());
         self.engine
-            .schedule_at(arrival, E::peer_msg(to, PeerAddr::Peer(from), msg));
+            .schedule_at(arrival, S::Event::peer_msg(to, PeerAddr::Peer(from), msg));
     }
 
     fn to_server(&mut self, from: NodeId, msg: Message) {
         let arrival = self.now + self.pair_delay(from.as_u32(), LatencyModel::SERVER);
-        self.engine.schedule_at(arrival, E::server_msg(from, msg));
+        self.engine
+            .schedule_at(arrival, S::Event::server_msg(from, msg));
     }
 
     fn arm_timer(&mut self, node: NodeId, delay: SimDuration, kind: TimerKind) {
-        self.engine.schedule_in(delay, E::peer_timer(node, kind));
+        self.engine
+            .schedule_in(delay, S::Event::peer_timer(node, kind));
     }
 }
 
-impl<E: SimEvent, R: Recorder> ServerSubstrate for SimSubstrate<'_, E, R> {
+impl<S, R> ServerSubstrate for SimSubstrate<'_, S, R>
+where
+    S: EventScheduler,
+    S::Event: SimEvent,
+    R: Recorder,
+{
     fn server_control(&mut self, to: NodeId, msg: Message) {
         let arrival = self.now + self.pair_delay(to.as_u32(), LatencyModel::SERVER);
         self.engine
-            .schedule_at(arrival, E::peer_msg(to, PeerAddr::Server, msg));
+            .schedule_at(arrival, S::Event::peer_msg(to, PeerAddr::Server, msg));
     }
 
     fn server_chunk(&mut self, to: NodeId, bits: u64, msg: Message) {
@@ -123,7 +142,7 @@ impl<E: SimEvent, R: Recorder> ServerSubstrate for SimSubstrate<'_, E, R> {
         }
         let arrival = ready + self.pair_delay(to.as_u32(), LatencyModel::SERVER);
         self.engine
-            .schedule_at(arrival, E::peer_msg(to, PeerAddr::Server, msg));
+            .schedule_at(arrival, S::Event::peer_msg(to, PeerAddr::Server, msg));
     }
 }
 
@@ -132,6 +151,7 @@ mod tests {
     use super::*;
     use socialtube::harness::CommandInterpreter;
     use socialtube::Outbox;
+    use socialtube_sim::Engine;
 
     #[derive(Debug, PartialEq)]
     enum Ev {
@@ -171,7 +191,7 @@ mod tests {
             }
         }
 
-        fn substrate(&mut self) -> SimSubstrate<'_, Ev> {
+        fn substrate(&mut self) -> SimSubstrate<'_, Engine<Ev>> {
             SimSubstrate {
                 now: SimTime::ZERO,
                 engine: &mut self.engine,

@@ -263,6 +263,10 @@ pub enum Track {
     Server,
     /// One peer, by node id.
     Peer(u32),
+    /// One shard's event loop in a sharded run (the serial executor is
+    /// [`Track::Engine`]; sharded executors annotate per-shard queue
+    /// series with the owning shard id instead).
+    Shard(u32),
 }
 
 /// The observation sink driver loops are generic over.
@@ -414,6 +418,21 @@ pub struct RunRecording {
     pub snapshot: MetricsSnapshot,
     /// The captured timeline, when timeline capture was on.
     pub timeline: Option<Timeline>,
+}
+
+impl RunRecording {
+    /// Folds another recording into this one: counters and histograms
+    /// merge, timelines concatenate (see [`Timeline::absorb`]). This is
+    /// how a sharded run's per-shard recordings become the single
+    /// recording its outcome reports.
+    pub fn absorb(&mut self, other: RunRecording) {
+        self.snapshot.merge(&other.snapshot);
+        match (&mut self.timeline, other.timeline) {
+            (Some(mine), Some(theirs)) => mine.absorb(theirs),
+            (mine @ None, theirs @ Some(_)) => *mine = theirs,
+            _ => {}
+        }
+    }
 }
 
 /// The full per-run recorder: counting plus optional timeline capture.

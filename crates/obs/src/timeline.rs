@@ -76,6 +76,14 @@ impl Timeline {
         &self.events
     }
 
+    /// Appends all of `other`'s events. Used to fold per-shard timelines
+    /// into one run timeline: each track is written by exactly one shard,
+    /// so per-track event order (what span nesting depends on) survives
+    /// even though tracks interleave globally.
+    pub fn absorb(&mut self, other: Timeline) {
+        self.events.extend(other.events);
+    }
+
     /// Renders the timeline as a single-process Chrome trace file.
     pub fn to_chrome_trace(&self) -> String {
         chrome_trace(&[("run", self)])
@@ -110,6 +118,7 @@ fn track_label(track: Track) -> String {
         Track::Engine => "engine".into(),
         Track::Server => "server".into(),
         Track::Peer(n) => format!("peer-{n}"),
+        Track::Shard(n) => format!("shard-{n}"),
     }
 }
 
@@ -119,6 +128,9 @@ fn track_tid(track: Track) -> u64 {
         Track::Engine => 0,
         Track::Server => 1,
         Track::Peer(n) => 2 + u64::from(n),
+        // Shards live above the whole peer id space so they never collide
+        // with a peer lane.
+        Track::Shard(n) => 2 + (1 << 32) + u64::from(n),
     }
 }
 

@@ -110,6 +110,14 @@ impl ServerQueue {
         self.link.backlog(now)
     }
 
+    /// The instant the link frees up ([`SimTime::ZERO`] when never used).
+    /// [`backlog`](ServerQueue::backlog) at any `now` is derivable from
+    /// this, which is how the sharded coordinator replays backlog samples
+    /// without owning the queue.
+    pub fn busy_until(&self) -> SimTime {
+        self.link.busy_until
+    }
+
     /// Total bits served so far (server bandwidth cost).
     pub fn bits_served(&self) -> u64 {
         self.link.bits_served

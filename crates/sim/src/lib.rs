@@ -45,6 +45,7 @@ mod latency;
 mod queue;
 mod rng;
 mod sampler;
+mod shard;
 mod time;
 
 pub use bandwidth::{ServerQueue, UploadScheduler};
@@ -54,4 +55,8 @@ pub use latency::LatencyModel;
 pub use queue::{EventQueue, QueueOccupancy};
 pub use rng::SimRng;
 pub use sampler::PeriodicSampler;
+pub use shard::{
+    epoch_length, Delivery, EpochLog, EpochReplay, EventScheduler, MergeState, ShardEngine,
+    CASCADE_SEQ_BASE, EPOCH_ALIGN_US,
+};
 pub use time::{SimDuration, SimTime};

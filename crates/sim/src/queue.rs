@@ -8,7 +8,7 @@ use crate::SimTime;
 /// Number of tick-granular buckets in the calendar wheel (one window).
 const WHEEL_BUCKETS: usize = 4096;
 /// Bucket width as a power-of-two of microseconds: 2^10 µs ≈ 1 ms.
-const TICK_SHIFT: u32 = 10;
+pub(crate) const TICK_SHIFT: u32 = 10;
 /// Words in the occupancy bitmap (one bit per bucket).
 const BITMAP_WORDS: usize = WHEEL_BUCKETS / 64;
 
@@ -164,8 +164,28 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let entry = Entry { time, seq, event };
-        let tick = tick_of(time);
+        self.insert(Entry { time, seq, event });
+    }
+
+    /// Schedules `event` at `time` under a caller-chosen sequence number,
+    /// bypassing the internal counter (which is neither consumed nor
+    /// advanced).
+    ///
+    /// This is the sharded executor's entry point: the epoch coordinator
+    /// owns one global sequence counter and stamps cross-shard deliveries
+    /// with canonical numbers, while intra-epoch cascades carry provisional
+    /// keys above [`CASCADE_SEQ_BASE`](crate::shard::CASCADE_SEQ_BASE).
+    /// The caller owns the `(time, seq)` total order: pushing a key at or
+    /// below one already popped violates the delivery contract (caught by
+    /// the monotonicity debug-assertion on [`pop`](EventQueue::pop)).
+    /// Mixing with plain [`push`](EventQueue::push) on the same queue is
+    /// only sound if the caller keeps the two key ranges disjoint.
+    pub fn push_with_seq(&mut self, time: SimTime, seq: u64, event: E) {
+        self.insert(Entry { time, seq, event });
+    }
+
+    fn insert(&mut self, entry: Entry<E>) {
+        let tick = tick_of(entry.time);
         if tick <= self.cursor {
             // At (or before) the tick being drained: insert into the
             // descending working set. A same-tick FIFO push carries the
@@ -187,6 +207,13 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, FIFO among ties.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_with_seq().map(|(time, _, event)| (time, event))
+    }
+
+    /// Like [`pop`](EventQueue::pop), also returning the entry's sequence
+    /// number — the shard executor logs it so the epoch merge can
+    /// reconstruct the canonical global order.
+    pub fn pop_with_seq(&mut self) -> Option<(SimTime, u64, E)> {
         if self.len == 0 {
             return None;
         }
@@ -205,7 +232,7 @@ impl<E> EventQueue<E> {
         if cfg!(debug_assertions) {
             self.last_popped = Some(entry.key());
         }
-        Some((entry.time, entry.event))
+        Some((entry.time, entry.seq, entry.event))
     }
 
     /// Moves the cursor to the next non-empty tick and loads its bucket as
