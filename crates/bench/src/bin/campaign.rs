@@ -5,7 +5,7 @@
 //! cargo run --release -p socialtube-bench --bin campaign -- \
 //!     [--scale demo|figure|full] [--seeds N] [--seed BASE] [--workers N] \
 //!     [--shards N] [--protocols socialtube,pavod,...] [--out PATH] \
-//!     [--metrics-out PATH] [--trace-out PATH]
+//!     [--metrics-out PATH] [--trace-out PATH] [--progress-out PATH]
 //! ```
 //!
 //! `--shards N` runs every cell under `Execution::Sharded { workers: N }`;
@@ -16,17 +16,20 @@
 //! the worker pool with the metrics recorder attached — verifies the two
 //! reports agree bitwise per cell (which also proves recording never
 //! perturbs a run), and writes `BENCH_campaign.json` with wall-clock,
-//! speedup, events/sec, and each protocol's resolution split and search-hop
-//! distribution. `--metrics-out` dumps the full merged per-protocol
-//! snapshots; `--trace-out` re-runs each protocol once at the base seed
-//! with timeline capture and writes a Chrome-trace file (one process per
-//! protocol) loadable in Perfetto or `chrome://tracing`.
+//! speedup, events/sec, and each protocol's resolution split, search-hop
+//! distribution, cache/prefetch hit rates and top interest communities
+//! (`by_community`, sliced from the dimensional metrics). `--metrics-out`
+//! dumps the full merged per-protocol snapshots; `--progress-out` streams
+//! one NDJSON line per completed cell of the parallel pass;
+//! `--trace-out` re-runs each protocol once at the base seed with timeline
+//! capture and writes a Chrome-trace file (one process per protocol)
+//! loadable in Perfetto or `chrome://tracing`.
 
 use std::io::Write;
 
 use socialtube_experiments::{
-    configs, Campaign, CampaignReport, Execution, ExperimentOptions, Protocol, RecorderConfig,
-    RunSpec,
+    configs, figures, Campaign, CampaignReport, Execution, ExperimentOptions, ProgressConfig,
+    Protocol, RecorderConfig, RunSpec,
 };
 use socialtube_obs::chrome_trace;
 
@@ -40,6 +43,7 @@ fn main() {
     let mut out = "BENCH_campaign.json".to_string();
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut progress_out: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -80,6 +84,7 @@ fn main() {
             "--out" => out = value("--out"),
             "--metrics-out" => metrics_out = Some(value("--metrics-out")),
             "--trace-out" => trace_out = Some(value("--trace-out")),
+            "--progress-out" => progress_out = Some(value("--progress-out")),
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -115,10 +120,11 @@ fn main() {
     // unrecorded serial baseline doubles as the proof that instrumentation
     // never perturbs a run.
     println!("# parallel ({workers} workers, metrics recorder on) ...");
-    let parallel = campaign
-        .clone()
-        .recorder(RecorderConfig::metrics_only())
-        .run();
+    let mut recorded = campaign.clone().recorder(RecorderConfig::metrics_only());
+    if let Some(path) = &progress_out {
+        recorded = recorded.progress(ProgressConfig::to_file(path));
+    }
+    let parallel = recorded.run();
     println!(
         "#   {:.2}s wall-clock ({:.2}s traces), {:.0} events/s",
         parallel.wall_clock.as_secs_f64(),
@@ -285,6 +291,33 @@ fn render_snapshot_fields(report: &CampaignReport, protocol: Protocol) -> String
         rate(snap.counter("cache_hit"), snap.counter("cache_miss")),
         rate(snap.counter("prefetch_hit"), snap.counter("prefetch_miss")),
     ));
+    let slices = figures::community_slices(&snap);
+    if !slices.is_empty() {
+        let top = slices
+            .iter()
+            .take(8)
+            .map(|c| {
+                format!(
+                    "{{\"community\": {}, \"playbacks\": {}, \"cache_hit_rate\": {:.4}, \
+                     \"prefetch_hit_rate\": {:.4}, \"search_hops_mean\": {:.3}, \
+                     \"resolved_p2p\": {}, \"resolved_server\": {}, \"origin_serves\": {}}}",
+                    c.community,
+                    c.playbacks,
+                    c.cache_hit_rate,
+                    c.prefetch_hit_rate,
+                    c.search_hops_mean,
+                    c.resolved_p2p,
+                    c.resolved_server,
+                    c.origin_serves,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.push_str(&format!(
+            ", \"communities\": {}, \"by_community\": [{top}]",
+            slices.len()
+        ));
+    }
     s
 }
 

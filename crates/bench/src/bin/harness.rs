@@ -3,16 +3,18 @@
 //!
 //! ```text
 //! cargo run --release -p socialtube-bench --bin harness -- \
-//!     [--seed N] [--shards N] [--min-events-per-sec N] [--out PATH]
+//!     [--seed N] [--shards N] [--min-events-per-sec N] \
+//!     [--max-recorder-overhead-pct N] [--out PATH]
 //! ```
 //!
 //! Runs every protocol twice over one shared trace (the steady-state smoke
 //! workload) through `RunSpec` — once plain, once with the metrics recorder
 //! attached — and writes `BENCH_harness.json`. The recorded pass tracks the
 //! instrumentation overhead (`recorder_overhead_pct`, target < 5%); the
-//! `--min-events-per-sec` guard turns the report into a regression gate:
-//! exit nonzero if the harness layer ever makes event dispatch slower than
-//! the floor.
+//! `--min-events-per-sec` and `--max-recorder-overhead-pct` guards turn the
+//! report into a regression gate: exit nonzero if the harness layer ever
+//! makes event dispatch slower than the floor, or if telemetry costs more
+//! than the ceiling.
 
 use std::io::Write;
 use std::time::Instant;
@@ -30,6 +32,7 @@ struct Cell {
 fn main() {
     let mut seed: u64 = 42;
     let mut min_eps: f64 = 0.0;
+    let mut max_overhead: f64 = 0.0;
     let mut execution = Execution::Serial;
     let mut out = "BENCH_harness.json".to_string();
 
@@ -59,6 +62,11 @@ fn main() {
                 min_eps = value("--min-events-per-sec")
                     .parse()
                     .expect("--min-events-per-sec: number");
+            }
+            "--max-recorder-overhead-pct" => {
+                max_overhead = value("--max-recorder-overhead-pct")
+                    .parse()
+                    .expect("--max-recorder-overhead-pct: number");
             }
             "--out" => out = value("--out"),
             other => {
@@ -137,6 +145,10 @@ fn main() {
 
     if min_eps > 0.0 && eps < min_eps {
         eprintln!("harness throughput {eps:.0} events/s below the floor {min_eps:.0}");
+        std::process::exit(1);
+    }
+    if max_overhead > 0.0 && overhead_pct > max_overhead {
+        eprintln!("recorder overhead {overhead_pct:.2}% above the ceiling {max_overhead:.2}%");
         std::process::exit(1);
     }
 }

@@ -4,19 +4,25 @@
 //!
 //! ```text
 //! cargo run --release -p socialtube-bench --bin scale -- \
-//!     [--peers N] [--seed N] [--shards N] [--min-events-per-sec N] [--out PATH]
+//!     [--peers N] [--seed N] [--shards N] [--min-events-per-sec N] [--out PATH] \
+//!     [--progress-out PATH] [--metrics-out PATH]
 //! ```
 //!
 //! Runs `configs::scale_test(peers)` (Table I per-node ratios, one short
 //! session per node) under SocialTube and writes `BENCH_scale.json` with
 //! the event count, events/second, peak RSS (`VmHWM`), bytes per peer, the
-//! shard count and each shard's event total and queue high-water mark.
-//! `--shards N` selects `Execution::Sharded { workers: N }`; the final
-//! metrics are bitwise identical to the serial run either way, so CI
-//! compares the two reports field by field. The default population is
-//! 200,000 peers; runs above 500,000 require the `million` feature, which
-//! exists so the 1M-peer smoke path is a deliberate opt-in rather than an
-//! accidental half-hour CI job:
+//! shard count and each shard's event total, queue high-water mark and
+//! memory share. `--shards N` selects `Execution::Sharded { workers: N }`;
+//! the final metrics are bitwise identical to the serial run either way, so
+//! CI compares the two reports field by field — and a sharded report
+//! additionally carries a `shard_profile` block (epoch compute versus
+//! barrier-stall versus merge wall time, per-epoch imbalance, the
+//! cross-shard message matrix). `--progress-out` streams NDJSON
+//! flight-recorder snapshots while the run executes; `--metrics-out`
+//! attaches the metrics recorder and dumps the run's dimensional snapshot.
+//! The default population is 200,000 peers; runs above 500,000 require the
+//! `million` feature, which exists so the 1M-peer smoke path is a
+//! deliberate opt-in rather than an accidental half-hour CI job:
 //!
 //! ```text
 //! cargo run --release -p socialtube-bench --features million --bin scale -- \
@@ -26,7 +32,9 @@
 use std::io::Write;
 use std::time::Instant;
 
-use socialtube_experiments::{configs, Execution, Protocol, RunSpec};
+use socialtube_experiments::{
+    configs, Execution, ProgressConfig, Protocol, RecorderConfig, RunSpec,
+};
 use socialtube_trace::generate_shared;
 
 /// Population ceiling without the `million` feature. Everything below this
@@ -40,6 +48,8 @@ fn main() {
     let mut min_eps: f64 = 0.0;
     let mut execution = Execution::Serial;
     let mut out = "BENCH_scale.json".to_string();
+    let mut progress_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -70,6 +80,8 @@ fn main() {
                     .expect("--min-events-per-sec: number");
             }
             "--out" => out = value("--out"),
+            "--progress-out" => progress_out = Some(value("--progress-out")),
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")),
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -98,10 +110,16 @@ fn main() {
         options.trace.channels,
     );
 
-    let spec = RunSpec::new(Protocol::SocialTube)
+    let mut spec = RunSpec::new(Protocol::SocialTube)
         .options(options)
         .trace(shared)
         .execution(execution);
+    if let Some(path) = &progress_out {
+        spec = spec.with_progress(ProgressConfig::to_file(path));
+    }
+    if metrics_out.is_some() {
+        spec = spec.with_recorder(RecorderConfig::metrics_only());
+    }
     let start = Instant::now();
     let outcome = spec.run();
     let secs = start.elapsed().as_secs_f64();
@@ -123,18 +141,72 @@ fn main() {
             s.shard, s.peers, s.events, s.queue_peak
         );
     }
+    if let Some(p) = &outcome.profile {
+        println!(
+            "#   profile: {} epochs, compute {:.2}s, barrier stall {:.2}s, merge {:.2}s, \
+             imbalance mean {:.2} max {:.2}, {} cross-shard msgs",
+            p.epochs,
+            p.epoch_compute_s,
+            p.barrier_stall_s,
+            p.merge_s,
+            p.imbalance_mean,
+            p.imbalance_max,
+            p.cross_shard_total(),
+        );
+    }
 
     let shards_json = outcome
         .shards
         .iter()
         .map(|s| {
             format!(
-                r#"    {{"shard": {}, "peers": {}, "events": {}, "queue_peak": {}}}"#,
-                s.shard, s.peers, s.events, s.queue_peak
+                r#"    {{"shard": {}, "peers": {}, "events": {}, "queue_peak": {}, "bytes": {}}}"#,
+                s.shard,
+                s.peers,
+                s.events,
+                s.queue_peak,
+                bytes_per_peer * s.peers as u64,
             )
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    // Sharded runs self-profile; the block sits between the run-level
+    // fields and the per-shard list so serial/sharded reports stay
+    // line-diffable on the shared fields.
+    let profile_json = outcome
+        .profile
+        .as_ref()
+        .map(|p| {
+            let matrix = p
+                .cross_shard_msgs
+                .iter()
+                .map(|row| {
+                    format!(
+                        "[{}]",
+                        row.iter()
+                            .map(|n| n.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n      ");
+            format!(
+                ",\n  \"shard_profile\": {{\n    \"epochs\": {},\n    \
+                 \"epoch_compute_s\": {:.3},\n    \"barrier_stall_s\": {:.3},\n    \
+                 \"merge_s\": {:.3},\n    \"imbalance_mean\": {:.3},\n    \
+                 \"imbalance_max\": {:.3},\n    \"cross_shard_total\": {},\n    \
+                 \"cross_shard_msgs\": [\n      {matrix}\n    ]\n  }}",
+                p.epochs,
+                p.epoch_compute_s,
+                p.barrier_stall_s,
+                p.merge_s,
+                p.imbalance_mean,
+                p.imbalance_max,
+                p.cross_shard_total(),
+            )
+        })
+        .unwrap_or_default();
     let json = format!(
         r#"{{
   "benchmark": "scale",
@@ -150,7 +222,7 @@ fn main() {
   "queue_peak": {queue_peak},
   "peak_rss_bytes": {peak_rss},
   "bytes_per_peer": {bytes_per_peer},
-  "sim_end_s": {sim_end},
+  "sim_end_s": {sim_end}{profile_json},
   "shards": [
 {shards_json}
   ]
@@ -164,6 +236,16 @@ fn main() {
     let mut file = std::fs::File::create(&out).expect("create report file");
     file.write_all(json.as_bytes()).expect("write report");
     println!("# report written to {out}");
+
+    if let Some(path) = &metrics_out {
+        let snap = &outcome
+            .recording
+            .as_ref()
+            .expect("recording requested")
+            .snapshot;
+        std::fs::write(path, snap.to_json(0)).expect("write metrics file");
+        println!("# metrics snapshot written to {path}");
+    }
 
     if min_eps > 0.0 && eps < min_eps {
         eprintln!("scale throughput {eps:.0} events/s below the floor {min_eps:.0}");

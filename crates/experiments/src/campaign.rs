@@ -29,11 +29,11 @@
 //! }
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
-use socialtube_obs::{MetricsSnapshot, RecorderConfig};
+use socialtube_obs::{MetricsSnapshot, ProgressConfig, ProgressSink, RecorderConfig};
 use socialtube_sim::SimRng;
 use socialtube_trace::{generate_shared, SharedTrace};
 
@@ -55,6 +55,7 @@ pub struct Campaign {
     workers: usize,
     recorder: RecorderConfig,
     execution: Execution,
+    progress: Option<ProgressConfig>,
 }
 
 /// One cell of the sweep grid before execution.
@@ -163,6 +164,7 @@ impl Campaign {
             workers: default_workers(),
             recorder: RecorderConfig::default(),
             execution: Execution::Serial,
+            progress: None,
         }
     }
 
@@ -181,6 +183,16 @@ impl Campaign {
     /// Recording never changes the results — runs stay bitwise identical.
     pub fn recorder(mut self, config: RecorderConfig) -> Self {
         self.recorder = config;
+        self
+    }
+
+    /// Streams one NDJSON progress line per completed cell (`cells_done`
+    /// of `cells_total`, cumulative events, wall-clock ETA from the mean
+    /// cell time) to the configured target; see [`RunSpec::with_progress`]
+    /// for the within-run form. Write-only: campaign results are bitwise
+    /// identical with it on or off.
+    pub fn progress(mut self, config: ProgressConfig) -> Self {
+        self.progress = Some(config);
         self
     }
 
@@ -267,7 +279,35 @@ impl Campaign {
                     .execution(self.execution)
             })
             .collect();
-        let outcomes = run_specs(specs, workers);
+        // One shared sink for the whole grid: workers report completed
+        // cells in finish order (the result ordering is position-keyed and
+        // unaffected).
+        let progress: Option<Mutex<ProgressSink>> =
+            self.progress
+                .clone()
+                .and_then(|config| match ProgressSink::new(config) {
+                    Ok(sink) => Some(Mutex::new(sink)),
+                    Err(err) => {
+                        eprintln!("warning: campaign progress disabled: {err}");
+                        None
+                    }
+                });
+        let cells_done = AtomicU64::new(0);
+        let events_done = AtomicU64::new(0);
+        let cells_total = specs.len() as u64;
+        let run_workers = workers.min(specs.len()).max(1);
+        let outcomes = parallel_map(&specs, run_workers, |_, spec| {
+            let outcome = spec.run();
+            if let Some(sink) = &progress {
+                let done = cells_done.fetch_add(1, Ordering::Relaxed) + 1;
+                let events =
+                    events_done.fetch_add(outcome.events, Ordering::Relaxed) + outcome.events;
+                if let Ok(mut sink) = sink.lock() {
+                    sink.emit_cell(done, cells_total, events);
+                }
+            }
+            outcome
+        });
 
         let cells = plan
             .into_iter()
@@ -587,6 +627,36 @@ mod tests {
             assert_eq!(a.outcome.events, b.outcome.events);
             assert_eq!(a.outcome.sim_end, b.outcome.sim_end);
             assert_eq!(b.outcome.shards.len(), 2, "sharded cells report 2 shards");
+        }
+    }
+
+    #[test]
+    fn campaign_progress_emits_one_line_per_cell() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "socialtube-campaign-progress-{}.ndjson",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let campaign = Campaign::new(tiny())
+            .protocols(&[Protocol::SocialTube, Protocol::PaVod])
+            .replicates(2)
+            .workers(2);
+        let plain = campaign.run();
+        let streamed = campaign
+            .clone()
+            .progress(ProgressConfig::to_file(&path))
+            .run();
+        let text = std::fs::read_to_string(&path).expect("progress file written");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(text.lines().count(), 4, "one line per cell:\n{text}");
+        assert!(
+            text.lines().any(|l| l.contains("\"cells_done\": 4")),
+            "final line reports all cells done:\n{text}"
+        );
+        for (p, s) in plain.cells.iter().zip(&streamed.cells) {
+            assert_eq!(p.outcome.metrics, s.outcome.metrics, "progress perturbed");
+            assert_eq!(p.outcome.events, s.outcome.events);
         }
     }
 

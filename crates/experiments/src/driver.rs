@@ -29,7 +29,8 @@ use socialtube::harness::CommandInterpreter;
 use socialtube::{Message, Outbox, PeerAddr, Report, ServerOutbox, TimerKind, VodPeer, VodServer};
 use socialtube_model::{Catalog, NodeId};
 use socialtube_obs::{
-    Counter, HistKind, NullRecorder, Recorder, RecorderConfig, RunRecorder, RunRecording, Track,
+    Counter, Dim, HistKind, NullRecorder, ProgressConfig, ProgressSink, Recorder, RecorderConfig,
+    RunRecorder, RunRecording, Track,
 };
 use socialtube_sim::{
     epoch_length, Delivery, Engine, EpochLog, EventScheduler, LatencyModel, MergeState,
@@ -42,7 +43,7 @@ use crate::harness::{
     ProtocolStack, SessionDirector, SessionStep, SimEvent, SimSubstrate, StackBuilder,
 };
 use crate::metrics::{MetricsCollector, MetricsSummary};
-use crate::recording::record_report;
+use crate::recording::{record_report, record_report_dims};
 use crate::{Execution, Protocol};
 
 /// Events the driver schedules on the engine.
@@ -96,6 +97,56 @@ pub struct ShardLoad {
     pub peers: usize,
 }
 
+/// Wall-clock self-profile of one sharded execution, carried in
+/// [`SimOutcome::profile`]. Every field is a wall-time measurement or a
+/// message count taken by the coordinator loop — diagnostics only, never
+/// an input to the simulation, so a run's deterministic outputs are
+/// identical whether or not anyone reads it.
+#[derive(Clone, Debug, Default)]
+pub struct ExecutionProfile {
+    /// Conservative epochs the run advanced through.
+    pub epochs: u64,
+    /// Wall seconds shards spent computing epoch windows, summed across
+    /// shards — can exceed the run's wall time, since shards compute in
+    /// parallel.
+    pub epoch_compute_s: f64,
+    /// Wall seconds the coordinator waited at epoch barriers for the
+    /// slowest worker after finishing its own (shard 0) window.
+    pub barrier_stall_s: f64,
+    /// Wall seconds spent in canonical merge replay (including draining
+    /// the shards' queued metric notes).
+    pub merge_s: f64,
+    /// `cross_shard_msgs[from][to]` counts cross-epoch deliveries whose
+    /// handler ran on shard `from` and whose target lives on shard `to`.
+    /// The diagonal is a shard's own cross-epoch traffic; off-diagonal
+    /// entries are the true cross-shard message load.
+    pub cross_shard_msgs: Vec<Vec<u64>>,
+    /// Mean over non-empty epochs of the per-epoch `max/mean` shard-event
+    /// ratio: 1.0 is perfect balance, `shards` means one shard did all the
+    /// work that epoch.
+    pub imbalance_mean: f64,
+    /// Worst single-epoch `max/mean` shard-event ratio.
+    pub imbalance_max: f64,
+}
+
+impl ExecutionProfile {
+    /// Total deliveries that crossed an epoch boundary between two
+    /// *different* shards (the off-diagonal sum of the matrix).
+    pub fn cross_shard_total(&self) -> u64 {
+        self.cross_shard_msgs
+            .iter()
+            .enumerate()
+            .map(|(from, row)| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(to, _)| *to != from)
+                    .map(|(_, n)| n)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
 /// Result of one simulation run.
 #[derive(Debug)]
 pub struct SimOutcome {
@@ -127,6 +178,9 @@ pub struct SimOutcome {
     /// Metrics snapshot and optional timeline, when the spec asked for
     /// recording ([`RunSpec::with_recorder`]); `None` otherwise.
     pub recording: Option<RunRecording>,
+    /// Wall-clock self-profile of the sharded executor; `None` for serial
+    /// runs. Wall times never feed back into deterministic outputs.
+    pub profile: Option<ExecutionProfile>,
 }
 
 impl SimOutcome {
@@ -169,6 +223,7 @@ pub struct RunSpec {
     trace: Option<SharedTrace>,
     recorder: RecorderConfig,
     execution: Execution,
+    progress: Option<ProgressConfig>,
 }
 
 impl RunSpec {
@@ -181,6 +236,7 @@ impl RunSpec {
             trace: None,
             recorder: RecorderConfig::default(),
             execution: Execution::Serial,
+            progress: None,
         }
     }
 
@@ -223,6 +279,31 @@ impl RunSpec {
     pub fn with_recorder(mut self, config: RecorderConfig) -> Self {
         self.recorder = config;
         self
+    }
+
+    /// Streams flight-recorder progress snapshots (NDJSON) while the run
+    /// executes — events/s, queue occupancy, RSS, per-shard load — to the
+    /// configured [`ProgressTarget`](socialtube_obs::ProgressTarget).
+    /// Progress is wall-clock-driven and write-only: it never touches the
+    /// engine, the RNG, or the recorder, so deterministic outputs are
+    /// unaffected.
+    pub fn with_progress(mut self, config: ProgressConfig) -> Self {
+        self.progress = Some(config);
+        self
+    }
+
+    /// Builds the progress sink for this run, if one was requested. An
+    /// unwritable target degrades to a stderr warning rather than failing
+    /// the run.
+    fn make_progress(&self) -> Option<ProgressSink> {
+        let config = self.progress.clone()?;
+        match ProgressSink::new(config) {
+            Ok(sink) => Some(sink),
+            Err(err) => {
+                eprintln!("warning: progress sink disabled: {err}");
+                None
+            }
+        }
     }
 
     /// The protocol this spec runs.
@@ -268,6 +349,7 @@ impl RunSpec {
     /// `None` — the caller holds the recorder.
     pub fn run_recorded<R: Recorder>(&self, rec: &mut R) -> SimOutcome {
         let seed = self.effective_seed();
+        let mut progress = self.make_progress();
         match &self.trace {
             Some(shared) => run_with_catalog(
                 shared,
@@ -276,6 +358,7 @@ impl RunSpec {
                 &self.options,
                 seed,
                 rec,
+                progress.as_mut(),
             ),
             None => {
                 let shared = SharedTrace::new(generate(&self.options.trace, seed));
@@ -286,6 +369,7 @@ impl RunSpec {
                     &self.options,
                     seed,
                     rec,
+                    progress.as_mut(),
                 )
             }
         }
@@ -296,6 +380,7 @@ impl RunSpec {
     fn run_sharded(&self, workers: usize) -> SimOutcome {
         let seed = self.effective_seed();
         let go = |trace: &Trace, catalog: Arc<Catalog>| -> SimOutcome {
+            let mut progress = self.make_progress();
             if self.recorder.enabled() {
                 let config = self.recorder;
                 let (mut outcome, recs) = run_sharded_with(
@@ -306,6 +391,7 @@ impl RunSpec {
                     seed,
                     workers,
                     |_| RunRecorder::new(config),
+                    progress.as_mut(),
                 );
                 let mut recording: Option<RunRecording> = None;
                 for rec in recs {
@@ -326,6 +412,7 @@ impl RunSpec {
                     seed,
                     workers,
                     |_| NullRecorder,
+                    progress.as_mut(),
                 )
                 .0
             }
@@ -439,6 +526,10 @@ struct World<'a> {
     outbox: Outbox,
     server_outbox: ServerOutbox,
     tracked_peak: usize,
+    /// Each node's interest-community key for dimensional metric
+    /// attribution ([`crate::recording::record_report_dims`]); empty when
+    /// the recorder is disabled — attribution then skips every report.
+    community_of: Arc<[u32]>,
 }
 
 /// Mutable access to an owned peer slot; panics on a routing bug.
@@ -478,6 +569,7 @@ fn handle_event<S, R, K>(
         outbox,
         server_outbox,
         tracked_peak,
+        community_of,
     } = world;
 
     if R::ENABLED {
@@ -579,6 +671,7 @@ fn handle_event<S, R, K>(
         CommandInterpreter::flush_peer(actor, outbox, &mut sub, |sub, report| {
             sink.on_report(now, report);
             record_report(sub.recorder, now, &report);
+            record_report_dims(sub.recorder, community_of, &report);
             if let Report::PlaybackStarted { node, video, .. } = report {
                 if let Some(watched) = director.on_playback_started(node, video) {
                     // A real playback: sample maintenance overhead and
@@ -610,6 +703,7 @@ fn handle_event<S, R, K>(
         interpreter.flush_server(server_outbox, &mut sub, |sub, report| {
             sink.on_report(now, report);
             record_report(sub.recorder, now, &report);
+            record_report_dims(sub.recorder, community_of, &report);
         });
     }
     sink.on_server_busy(server_queue.busy_until());
@@ -631,6 +725,7 @@ fn run_with_catalog<R: Recorder>(
     options: &ExperimentOptions,
     seed: u64,
     rec: &mut R,
+    mut progress: Option<&mut ProgressSink>,
 ) -> SimOutcome {
     let root = SimRng::seed(seed ^ 0x50c1_a17b);
     let users = trace.graph.user_count();
@@ -657,6 +752,7 @@ fn run_with_catalog<R: Recorder>(
         outbox: Outbox::new(),
         server_outbox: ServerOutbox::new(),
         tracked_peak: 0,
+        community_of: community_keys::<R>(trace),
     };
     let mut metrics = MetricsCollector::new(users);
     let mut engine: Engine<Ev> = Engine::new();
@@ -700,6 +796,15 @@ fn run_with_catalog<R: Recorder>(
                     now.as_micros(),
                     backlog.as_millis(),
                 );
+                rec.observe_dim(Dim::Shard(0), HistKind::QueueDepth, depth);
+            }
+            if let Some(p) = progress.as_deref_mut() {
+                p.tick(
+                    now.as_micros(),
+                    engine.processed(),
+                    engine.pending() as u64,
+                    &[],
+                );
             }
         }
         let mut sink = SerialSink {
@@ -711,6 +816,11 @@ fn run_with_catalog<R: Recorder>(
         // The high-water mark complements the per-minute samples: a burst
         // between sampling points still shows up in the distribution.
         rec.observe(HistKind::QueueDepth, engine.peak_pending() as u64);
+    }
+    if let Some(p) = progress {
+        // Final snapshot: even a run shorter than every trigger period
+        // leaves one line behind.
+        p.emit(engine.now().as_micros(), engine.processed(), 0, &[]);
     }
 
     let contributions: Vec<f64> = (0..users)
@@ -732,7 +842,31 @@ fn run_with_catalog<R: Recorder>(
         }],
         truncated: engine.budget_exhausted(),
         recording: None,
+        profile: None,
     }
+}
+
+/// Each node's interest-community key — the same key
+/// [`partition_by_interest`] groups by (first subscription channel), or
+/// [`NO_COMMUNITY`](crate::recording::NO_COMMUNITY) for nodes without
+/// subscriptions. Only materialized when the recorder is enabled; the
+/// [`NullRecorder`] path shares one empty slice and attribution skips
+/// every report.
+fn community_keys<R: Recorder>(trace: &Trace) -> Arc<[u32]> {
+    if !R::ENABLED {
+        return Arc::from(Vec::new());
+    }
+    let users = trace.graph.user_count();
+    (0..users)
+        .map(|u| {
+            trace
+                .graph
+                .user(NodeId::new(u as u32))
+                .ok()
+                .and_then(|user| user.subscriptions().first().copied())
+                .map_or(crate::recording::NO_COMMUNITY, |c| c.as_u32())
+        })
+        .collect()
 }
 
 /// Partitions nodes across `shards` by interest community: a node's
@@ -807,6 +941,9 @@ struct EpochOut {
     note_ends: Vec<u32>,
     /// Timestamp of the shard's earliest still-pending event.
     next: Option<SimTime>,
+    /// Events still queued on the shard after the window — the
+    /// coordinator's progress snapshots sum these.
+    pending: usize,
 }
 
 /// A shard's final figures, returned when the run finishes.
@@ -816,6 +953,9 @@ struct ShardFinal<R> {
     processed: u64,
     peak_pending: usize,
     pending: usize,
+    /// Wall seconds this shard spent inside [`run_shard_epoch`], for the
+    /// run's [`ExecutionProfile`].
+    compute_s: f64,
     /// `(node, bits)` for every owned node, for the fairness vector.
     bits_uploaded: Vec<(usize, u64)>,
     server_bits_served: u64,
@@ -867,6 +1007,13 @@ fn run_shard_epoch<R: Recorder>(
             end.as_micros(),
             occupancy.occupied_buckets as u64,
         );
+        rec.sample(
+            Track::Shard(shard as u32),
+            "events",
+            end.as_micros(),
+            engine.processed(),
+        );
+        rec.observe_dim(Dim::Shard(shard as u32), HistKind::QueueDepth, depth);
     }
     EpochOut {
         shard,
@@ -874,6 +1021,7 @@ fn run_shard_epoch<R: Recorder>(
         notes: std::mem::take(&mut sink.notes),
         note_ends,
         next: engine.peek_time(),
+        pending: engine.pending(),
     }
 }
 
@@ -883,6 +1031,7 @@ fn finish_shard<R: Recorder>(
     world: World<'_>,
     engine: ShardEngine<Ev>,
     mut rec: R,
+    compute_s: f64,
 ) -> ShardFinal<R> {
     if R::ENABLED {
         rec.observe(HistKind::QueueDepth, engine.peak_pending() as u64);
@@ -900,6 +1049,7 @@ fn finish_shard<R: Recorder>(
         processed: engine.processed(),
         peak_pending: engine.peak_pending(),
         pending: engine.pending(),
+        compute_s,
         bits_uploaded,
         server_bits_served: world.server_queue.bits_served(),
         tracked_peak: world.tracked_peak,
@@ -918,9 +1068,11 @@ fn shard_worker<R: Recorder>(
 ) -> ShardFinal<R> {
     let mut sink = ShardSink::new();
     let mut sampler = PeriodicSampler::new(SimDuration::from_mins(1));
+    let mut compute_s = 0f64;
     while let Ok(msg) = rx.recv() {
         match msg {
             ToWorker::Epoch { end, deliveries } => {
+                let t0 = std::time::Instant::now();
                 let out = run_shard_epoch(
                     shard,
                     &mut world,
@@ -931,6 +1083,7 @@ fn shard_worker<R: Recorder>(
                     end,
                     deliveries,
                 );
+                compute_s += t0.elapsed().as_secs_f64();
                 if tx.send(out).is_err() {
                     break;
                 }
@@ -938,7 +1091,7 @@ fn shard_worker<R: Recorder>(
             ToWorker::Finish => break,
         }
     }
-    finish_shard(shard, world, engine, rec)
+    finish_shard(shard, world, engine, rec, compute_s)
 }
 
 /// The sharded run loop: partitions the world by interest community,
@@ -958,6 +1111,7 @@ fn shard_worker<R: Recorder>(
 ///
 /// Panics if `shards` is 0 or the configured minimum latency is below one
 /// calendar bucket (no conservative lookahead exists).
+#[allow(clippy::too_many_arguments)] // two call sites; the args are the run's whole setup
 fn run_sharded_with<R, F>(
     trace: &Trace,
     catalog: Arc<Catalog>,
@@ -966,6 +1120,7 @@ fn run_sharded_with<R, F>(
     seed: u64,
     shards: usize,
     make_recorder: F,
+    progress: Option<&mut ProgressSink>,
 ) -> (SimOutcome, Vec<R>)
 where
     R: Recorder + Send,
@@ -1002,6 +1157,7 @@ where
 
     let shard_of = partition_by_interest(trace, shards);
     let directors = director.partition(&shard_of, shards);
+    let community_of = community_keys::<R>(trace);
 
     // Deal the stack's peers into per-shard full-length slot vectors.
     let mut peer_slots: Vec<Vec<Option<Box<dyn VodPeer + Send>>>> = (0..shards)
@@ -1027,6 +1183,7 @@ where
             outbox: Outbox::new(),
             server_outbox: ServerOutbox::new(),
             tracked_peak: 0,
+            community_of: Arc::clone(&community_of),
         });
     }
 
@@ -1051,6 +1208,18 @@ where
     let mut budget_hit = false;
     let mut routed: Vec<Vec<Delivery<Ev>>> = (0..shards).map(|_| Vec::new()).collect();
     let mut next_times: Vec<Option<SimTime>> = engines.iter().map(|e| e.peek_time()).collect();
+
+    // Self-profiling accumulators — wall-clock diagnostics for the
+    // outcome's ExecutionProfile; nothing here feeds back into the run.
+    let mut profile = ExecutionProfile {
+        cross_shard_msgs: vec![vec![0u64; shards]; shards],
+        ..ExecutionProfile::default()
+    };
+    let mut imbalance_sum = 0f64;
+    let mut imbalance_epochs = 0u64;
+    let mut shard_events_cum: Vec<u64> = vec![0; shards];
+    let mut compute0_s = 0f64;
+    let mut progress = progress;
 
     let mut worlds_iter = worlds.into_iter();
     let mut engines_iter = engines.into_iter();
@@ -1103,6 +1272,7 @@ where
                 tx.send(ToWorker::Epoch { end, deliveries })
                     .expect("shard worker alive");
             }
+            let t_compute = std::time::Instant::now();
             let out0 = run_shard_epoch(
                 0,
                 &mut world0,
@@ -1113,23 +1283,42 @@ where
                 end,
                 std::mem::take(&mut routed[0]),
             );
+            compute0_s += t_compute.elapsed().as_secs_f64();
             let mut outs: Vec<Option<EpochOut>> = (0..shards).map(|_| None).collect();
             outs[0] = Some(out0);
+            let t_barrier = std::time::Instant::now();
             for _ in 1..shards {
                 let out = out_rx.recv().expect("shard worker alive");
                 let s = out.shard;
                 outs[s] = Some(out);
             }
+            profile.barrier_stall_s += t_barrier.elapsed().as_secs_f64();
+            profile.epochs += 1;
             let mut logs: Vec<EpochLog<Ev>> = Vec::with_capacity(shards);
             let mut notes: Vec<Vec<MetricNote>> = Vec::with_capacity(shards);
             let mut note_ends: Vec<Vec<u32>> = Vec::with_capacity(shards);
+            let mut pending_now = 0u64;
+            let mut epoch_max = 0u64;
+            let mut epoch_total = 0u64;
             for (s, out) in outs.into_iter().enumerate() {
                 let out = out.expect("one epoch result per shard");
                 debug_assert_eq!(out.shard, s);
                 next_times[s] = out.next;
+                let count = out.log.processed() as u64;
+                shard_events_cum[s] += count;
+                epoch_max = epoch_max.max(count);
+                epoch_total += count;
+                pending_now += out.pending as u64;
                 logs.push(out.log);
                 notes.push(out.notes);
                 note_ends.push(out.note_ends);
+            }
+            if epoch_total > 0 {
+                let mean = epoch_total as f64 / shards as f64;
+                let ratio = epoch_max as f64 / mean;
+                imbalance_sum += ratio;
+                imbalance_epochs += 1;
+                profile.imbalance_max = profile.imbalance_max.max(ratio);
             }
 
             // Barrier: replay this epoch's events in canonical serial
@@ -1138,6 +1327,7 @@ where
             // serial loop would (before the event's own effects land).
             let mut entry_cursor = vec![0usize; shards];
             let mut note_cursor = vec![0usize; shards];
+            let t_merge = std::time::Instant::now();
             let replay = merge.replay(logs, |s, time| {
                 if backlog_sampler.due(time) > 0 {
                     let minute = time.as_micros() / 60_000_000;
@@ -1167,21 +1357,37 @@ where
                         && entry_cursor[s] == note_ends[s].len()),
                 "replay left notes behind"
             );
+            profile.merge_s += t_merge.elapsed().as_secs_f64();
             processed_total += replay.replayed;
             if let Some(t) = replay.last_time {
                 sim_end = t;
             }
             for d in replay.deliveries {
                 let s = route_shard(&d.event, &shard_of);
+                profile.cross_shard_msgs[d.from][s] += 1;
+                pending_now += 1;
                 routed[s].push(d);
+            }
+            if let Some(p) = progress.as_deref_mut() {
+                p.tick(
+                    end.as_micros(),
+                    processed_total,
+                    pending_now,
+                    &shard_events_cum,
+                );
             }
         }
 
+        if let Some(p) = progress {
+            // Final snapshot: even a run shorter than every trigger period
+            // leaves one line behind.
+            p.emit(sim_end.as_micros(), processed_total, 0, &shard_events_cum);
+        }
         for tx in &to_workers {
             let _ = tx.send(ToWorker::Finish);
         }
         let mut finals: Vec<ShardFinal<R>> = Vec::with_capacity(shards);
-        finals.push(finish_shard(0, world0, engine0, rec0));
+        finals.push(finish_shard(0, world0, engine0, rec0, compute0_s));
         for h in handles {
             finals.push(h.join().expect("shard worker panicked"));
         }
@@ -1197,6 +1403,12 @@ where
             contributions[u] = bits as f64;
         }
     }
+    profile.epoch_compute_s = finals.iter().map(|f| f.compute_s).sum();
+    profile.imbalance_mean = if imbalance_epochs > 0 {
+        imbalance_sum / imbalance_epochs as f64
+    } else {
+        0.0
+    };
     let shard_loads: Vec<ShardLoad> = finals
         .iter()
         .map(|f| ShardLoad {
@@ -1217,6 +1429,7 @@ where
         shards: shard_loads,
         truncated,
         recording: None,
+        profile: Some(profile),
     };
     let recorders = finals.into_iter().map(|f| f.recorder).collect();
     (outcome, recorders)
@@ -1285,6 +1498,115 @@ mod tests {
         let hops = snap.histogram("search_hops").expect("hop histogram");
         assert!(hops.count > 0);
         assert!(hops.max >= 1);
+    }
+
+    #[test]
+    fn recorded_runs_attribute_metrics_per_community() {
+        let outcome = RunSpec::new(Protocol::SocialTube)
+            .options(configs::smoke_test_long())
+            .with_recorder(socialtube_obs::RecorderConfig::metrics_only())
+            .run();
+        let snap = outcome.recording.expect("recording requested").snapshot;
+        let communities: Vec<_> = snap.communities().collect();
+        assert!(!communities.is_empty(), "no community slices attributed");
+        // Community slices partition the attributed subset of the run-wide
+        // totals: their cache-hit sum can never exceed the global counter.
+        let sliced_hits: u64 = communities
+            .iter()
+            .map(|(_, d)| d.counter("cache_hit"))
+            .sum();
+        assert!(sliced_hits > 0, "no cache hits attributed to a community");
+        assert!(sliced_hits <= snap.counter("cache_hit"));
+        // At least one community resolved searches and has a hop histogram.
+        assert!(
+            communities
+                .iter()
+                .any(|(_, d)| d.histogram("search_hops").is_some_and(|h| h.count > 0)),
+            "no community carries a search-hop histogram"
+        );
+    }
+
+    #[test]
+    fn per_community_slices_agree_between_executors() {
+        // Community attribution rides the merge/absorb machinery in the
+        // sharded executor; the folded slices must equal the serial ones.
+        let options = configs::smoke_test();
+        let serial = RunSpec::new(Protocol::SocialTube)
+            .options(options.clone())
+            .with_recorder(socialtube_obs::RecorderConfig::metrics_only())
+            .run();
+        let sharded = RunSpec::new(Protocol::SocialTube)
+            .options(options)
+            .execution(Execution::Sharded { workers: 3 })
+            .with_recorder(socialtube_obs::RecorderConfig::metrics_only())
+            .run();
+        let ss = serial.recording.expect("serial recording").snapshot;
+        let hs = sharded.recording.expect("sharded recording").snapshot;
+        let serial_slices: Vec<_> = ss.communities().collect();
+        let sharded_slices: Vec<_> = hs.communities().collect();
+        assert_eq!(serial_slices, sharded_slices, "community slices diverged");
+    }
+
+    #[test]
+    fn sharded_runs_carry_an_execution_profile() {
+        let workers = 3;
+        let out = RunSpec::new(Protocol::SocialTube)
+            .options(configs::smoke_test())
+            .execution(Execution::Sharded { workers })
+            .run();
+        let profile = out.profile.expect("sharded runs self-profile");
+        assert!(profile.epochs > 0, "no epochs counted");
+        assert_eq!(profile.cross_shard_msgs.len(), workers);
+        assert!(profile.cross_shard_msgs.iter().all(|r| r.len() == workers));
+        // Peers talk across communities (inter-cluster links), so some
+        // traffic must cross shards.
+        assert!(profile.cross_shard_total() > 0, "no cross-shard messages");
+        assert!(profile.imbalance_max >= profile.imbalance_mean);
+        assert!(profile.imbalance_mean >= 1.0, "max/mean ratio below 1");
+        assert!(profile.epoch_compute_s >= 0.0);
+
+        let serial = RunSpec::new(Protocol::SocialTube)
+            .options(configs::smoke_test())
+            .run();
+        assert!(serial.profile.is_none(), "serial runs do not self-profile");
+    }
+
+    #[test]
+    fn progress_sink_streams_ndjson_snapshots() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "socialtube-driver-progress-{}.ndjson",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let progress = socialtube_obs::ProgressConfig::to_file(&path)
+            .wall_period_ms(0)
+            .sim_period_us(60_000_000);
+        let with_progress = RunSpec::new(Protocol::SocialTube)
+            .options(configs::smoke_test())
+            .with_progress(progress)
+            .run();
+        let text = std::fs::read_to_string(&path).expect("progress file written");
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            text.lines().count() >= 3,
+            "expected >= 3 progress snapshots, got {}:\n{text}",
+            text.lines().count()
+        );
+        for line in text.lines() {
+            assert!(
+                line.starts_with("{\"wall_s\": ") && line.ends_with('}'),
+                "malformed NDJSON line: {line}"
+            );
+            assert!(line.contains("\"events\": "), "no event count: {line}");
+        }
+        // Streaming progress is write-only: the run is bitwise unaffected.
+        let plain = RunSpec::new(Protocol::SocialTube)
+            .options(configs::smoke_test())
+            .run();
+        assert_eq!(plain.metrics, with_progress.metrics);
+        assert_eq!(plain.events, with_progress.events);
+        assert_eq!(plain.sim_end, with_progress.sim_end);
     }
 
     #[test]

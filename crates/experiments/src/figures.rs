@@ -7,6 +7,7 @@
 use std::collections::BTreeMap;
 
 use socialtube::analysis::{fig15_series, OverheadPoint};
+use socialtube_obs::MetricsSnapshot;
 use socialtube_trace::stats::Percentiles;
 use socialtube_trace::{generate_shared, SharedTrace};
 
@@ -159,6 +160,77 @@ pub fn fig18(run: &ComparisonRun) -> Vec<Fig18Curve> {
         .collect()
 }
 
+/// Per-interest-community telemetry extracted from a recorded run's
+/// dimensional metric slices — the community-level view of the paper's
+/// quantities (cache effectiveness, search locality, server offload).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommunitySlice {
+    /// Interest-community key (the community's channel id).
+    pub community: u32,
+    /// Playbacks attributed to this community (cache hits + misses).
+    pub playbacks: u64,
+    /// Session-cache hit rate over the community's playbacks (0 when it
+    /// had none).
+    pub cache_hit_rate: f64,
+    /// Prefetch hit rate over the community's cache misses (0 when it had
+    /// none).
+    pub prefetch_hit_rate: f64,
+    /// Mean overlay hops of the community's resolved searches.
+    pub search_hops_mean: f64,
+    /// Searches resolved inside the community structure (channel +
+    /// category tiers).
+    pub resolved_p2p: u64,
+    /// Lookups that fell back to the server.
+    pub resolved_server: u64,
+    /// Videos the origin store actually served into this community.
+    pub origin_serves: u64,
+}
+
+impl CommunitySlice {
+    /// Share of this community's lookups the P2P tiers absorbed
+    /// (`None` when the community resolved nothing).
+    pub fn p2p_share(&self) -> Option<f64> {
+        let total = self.resolved_p2p + self.resolved_server;
+        (total > 0).then(|| self.resolved_p2p as f64 / total as f64)
+    }
+}
+
+/// Extracts one [`CommunitySlice`] per interest community from a recorded
+/// snapshot, ordered by descending playback count (ties by community id) —
+/// the "which communities carry the run" view the campaign bench reports.
+pub fn community_slices(snapshot: &MetricsSnapshot) -> Vec<CommunitySlice> {
+    let mut slices: Vec<CommunitySlice> = snapshot
+        .communities()
+        .map(|(community, dim)| {
+            let hits = dim.counter("cache_hit");
+            let misses = dim.counter("cache_miss");
+            let playbacks = hits + misses;
+            let prefetch_hits = dim.counter("prefetch_hit");
+            let hops = dim.histogram("search_hops");
+            CommunitySlice {
+                community,
+                playbacks,
+                cache_hit_rate: if playbacks > 0 {
+                    hits as f64 / playbacks as f64
+                } else {
+                    0.0
+                },
+                prefetch_hit_rate: if misses > 0 {
+                    prefetch_hits as f64 / misses as f64
+                } else {
+                    0.0
+                },
+                search_hops_mean: hops.map_or(0.0, |h| h.mean()),
+                resolved_p2p: dim.counter("resolved_channel") + dim.counter("resolved_category"),
+                resolved_server: dim.counter("resolved_server"),
+                origin_serves: dim.counter("origin_serve"),
+            }
+        })
+        .collect();
+    slices.sort_by_key(|s| (std::cmp::Reverse(s.playbacks), s.community));
+    slices
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +290,33 @@ mod tests {
         let f18 = fig18(&run);
         assert_eq!(f18.len(), 2);
         assert!(f18.iter().all(|c| !c.points.is_empty()));
+    }
+
+    #[test]
+    fn community_slices_extract_and_rank_recorded_dims() {
+        let outcome = RunSpec::new(Protocol::SocialTube)
+            .options(configs::smoke_test_long())
+            .with_recorder(socialtube_obs::RecorderConfig::metrics_only())
+            .run();
+        let snap = outcome.recording.expect("recording requested").snapshot;
+        let slices = community_slices(&snap);
+        assert!(!slices.is_empty(), "no community slices");
+        // Descending by playbacks, ties broken by ascending community id.
+        for w in slices.windows(2) {
+            assert!(
+                w[0].playbacks > w[1].playbacks
+                    || (w[0].playbacks == w[1].playbacks && w[0].community < w[1].community),
+                "slice order violated: {w:?}"
+            );
+        }
+        let top = &slices[0];
+        assert!(top.playbacks > 0);
+        assert!((0.0..=1.0).contains(&top.cache_hit_rate));
+        assert!((0.0..=1.0).contains(&top.prefetch_hit_rate));
+        // SocialTube's point holds per community, not just globally: the
+        // busiest community resolves most lookups inside the overlay.
+        let share = top.p2p_share().expect("top community searched");
+        assert!(share > 0.5, "top community leaned on the server: {share}");
     }
 
     #[test]

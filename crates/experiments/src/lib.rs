@@ -76,10 +76,13 @@ pub use campaign::{
     run_specs, Aggregate, Campaign, CampaignCell, CampaignReport, PlannedRun, ProtocolSummary,
 };
 pub use configs::{ExperimentOptions, NetworkOptions};
-pub use driver::{RunSpec, ShardLoad, SimOutcome};
+pub use driver::{ExecutionProfile, RunSpec, ShardLoad, SimOutcome};
 pub use metrics::{MetricsCollector, MetricsSummary};
 pub use net_driver::{run_net, NetExperimentOptions, NetRun};
-pub use socialtube_obs::{MetricsSnapshot, RecorderConfig, RunRecording};
+pub use socialtube_obs::{
+    Dim, DimSnapshot, MetricsSnapshot, ProgressConfig, ProgressSink, ProgressTarget,
+    RecorderConfig, RunRecording,
+};
 pub use workload::{SelectionMix, WorkloadConfig, WorkloadPlanner};
 
 /// Which protocol variant an experiment runs.

@@ -7,8 +7,12 @@
 //! recorder cannot perturb a run.
 
 use socialtube::{ChunkSource, Report, SearchPhase};
-use socialtube_obs::{Counter, HistKind, Recorder, Track};
+use socialtube_obs::{Counter, Dim, HistKind, Recorder, Track};
 use socialtube_sim::SimTime;
+
+/// Community key for nodes without a subscription: their reports are
+/// attributed to no community slice (the run-wide totals still count them).
+pub const NO_COMMUNITY: u32 = u32::MAX;
 
 /// Feeds one report into `rec`: resolution-split and repair counters, the
 /// search-hop histogram, cache/prefetch hit accounting, and the matching
@@ -62,6 +66,66 @@ pub fn record_report<R: Recorder>(rec: &mut R, now: SimTime, report: &Report) {
             rec.instant(Track::Peer(node.as_u32()), "neighbor-lost", ts);
         }
         Report::PrefetchAbandoned { .. } => rec.count(Counter::PrefetchAbandoned),
+    }
+}
+
+/// Attributes one report to the acting node's interest-community slice
+/// ([`Dim::Community`]). `community_of` maps node index to community key —
+/// the same first-subscription key the sharded executor partitions by —
+/// with [`NO_COMMUNITY`] (or a missing entry) meaning "unattributed". Like
+/// [`record_report`], this only observes: run-wide totals are untouched
+/// and nothing feeds back into the simulation.
+pub fn record_report_dims<R: Recorder>(rec: &mut R, community_of: &[u32], report: &Report) {
+    if !R::ENABLED {
+        return;
+    }
+    let node = match *report {
+        Report::PlaybackStarted { node, .. }
+        | Report::ServerFallback { node, .. }
+        | Report::ServedFromOrigin { node, .. }
+        | Report::SearchResolved { node, .. }
+        | Report::PrefetchAbandoned { node, .. } => node,
+        // Chunk arrivals are skipped run-wide too; TTL expiry and neighbor
+        // loss report the *forwarding* node, whose community is not the
+        // requester's — attributing them would mislabel the slice.
+        Report::ChunkReceived { .. } | Report::TtlExpired { .. } | Report::NeighborLost { .. } => {
+            return;
+        }
+    };
+    let Some(&community) = community_of.get(node.index()) else {
+        return;
+    };
+    if community == NO_COMMUNITY {
+        return;
+    }
+    let dim = Dim::Community(community);
+    match *report {
+        Report::PlaybackStarted { source, .. } => match source {
+            ChunkSource::Cache => rec.count_dim(dim, Counter::CacheHit),
+            ChunkSource::Prefetched => {
+                rec.count_dim(dim, Counter::CacheMiss);
+                rec.count_dim(dim, Counter::PrefetchHit);
+            }
+            ChunkSource::Peer | ChunkSource::Server => {
+                rec.count_dim(dim, Counter::CacheMiss);
+                rec.count_dim(dim, Counter::PrefetchMiss);
+            }
+        },
+        Report::ServerFallback { .. } => rec.count_dim(dim, Counter::ResolvedServer),
+        Report::ServedFromOrigin { .. } => rec.count_dim(dim, Counter::OriginServe),
+        Report::SearchResolved { phase, hops, .. } => {
+            rec.count_dim(
+                dim,
+                match phase {
+                    SearchPhase::Channel => Counter::ResolvedChannel,
+                    SearchPhase::Category => Counter::ResolvedCategory,
+                    SearchPhase::Server => Counter::ResolvedServer,
+                },
+            );
+            rec.observe_dim(dim, HistKind::SearchHops, u64::from(hops));
+        }
+        Report::PrefetchAbandoned { .. } => rec.count_dim(dim, Counter::PrefetchAbandoned),
+        _ => {}
     }
 }
 

@@ -19,19 +19,40 @@
 //!    fixed arrays; [`Timeline`] is a pre-sized vector of plain-old-data
 //!    events. Export (JSON/Chrome trace rendering) happens after the run.
 //!
+//! Beyond run-wide totals, the crate records along three more axes:
+//!
+//! * **Dimensional attribution** ([`Dim`]): counters and histograms can be
+//!   sliced per interest community, shard or peer class, so a
+//!   [`MetricsSnapshot`] can report cache-hit rates or search hops *by the
+//!   community that produced them* — the paper's per-community structure
+//!   made measurable.
+//! * **Timelines** ([`Timeline`], [`Track`]): span/instant/counter series
+//!   in virtual time, exported as Chrome traces (with per-peer lanes
+//!   capped for large runs — see [`chrome_trace_capped`]).
+//! * **Streaming progress** ([`ProgressSink`]): NDJSON flight-recorder
+//!   snapshots of a live run (events/s, queue depth, RSS, per-shard load)
+//!   on a wall-clock/sim-time cadence. Progress is wall-clock-driven and
+//!   therefore *never* feeds deterministic outputs; it only reads.
+//!
 //! The crate is dependency-free; export formats are rendered by hand
 //! (the workspace's vendored `serde` stub does not serialize).
 
 #![warn(missing_docs)]
 
+mod dims;
 pub mod json;
+mod progress;
 mod recorder;
 mod snapshot;
 mod timeline;
 
+pub use dims::{Dim, DimStore};
+pub use progress::{current_rss_bytes, ProgressConfig, ProgressSink, ProgressTarget};
 pub use recorder::{
     Counter, CountingRecorder, HistKind, Histogram, NullRecorder, Recorder, RecorderConfig,
     RunRecorder, RunRecording, Track,
 };
-pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
-pub use timeline::{chrome_trace, Timeline, TraceEvent, TracePhase};
+pub use snapshot::{DimSnapshot, HistogramSnapshot, MetricsSnapshot};
+pub use timeline::{
+    chrome_trace, chrome_trace_capped, Timeline, TraceEvent, TracePhase, DEFAULT_PEER_TRACK_CAP,
+};

@@ -1,5 +1,6 @@
 //! The [`Recorder`] trait and its implementations.
 
+use crate::dims::{Dim, DimStore};
 use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
 use crate::timeline::{Timeline, TracePhase};
 
@@ -295,6 +296,21 @@ pub trait Recorder {
         let _ = (kind, value);
     }
 
+    /// Bumps `counter` by one within `dim`'s slice (see [`Dim`]).
+    fn count_dim(&mut self, dim: Dim, counter: Counter) {
+        self.add_dim(dim, counter, 1);
+    }
+
+    /// Bumps `counter` by `n` within `dim`'s slice.
+    fn add_dim(&mut self, dim: Dim, counter: Counter, n: u64) {
+        let _ = (dim, counter, n);
+    }
+
+    /// Records `value` into `dim`'s `kind` histogram.
+    fn observe_dim(&mut self, dim: Dim, kind: HistKind, value: u64) {
+        let _ = (dim, kind, value);
+    }
+
     /// Opens a named span on `track` at virtual time `ts_us`.
     fn span_begin(&mut self, track: Track, name: &'static str, ts_us: u64) {
         let _ = (track, name, ts_us);
@@ -330,6 +346,7 @@ impl Recorder for NullRecorder {
 pub struct CountingRecorder {
     counters: [u64; Counter::COUNT],
     hists: [Histogram; HistKind::COUNT],
+    dims: DimStore,
 }
 
 impl Default for CountingRecorder {
@@ -344,6 +361,7 @@ impl CountingRecorder {
         Self {
             counters: [0; Counter::COUNT],
             hists: HistKind::ALL.map(Histogram::new),
+            dims: DimStore::new(),
         }
     }
 
@@ -357,6 +375,16 @@ impl CountingRecorder {
         &self.hists[kind as usize]
     }
 
+    /// The dimensional store (live, mid-run).
+    pub fn dims(&self) -> &DimStore {
+        &self.dims
+    }
+
+    /// Current value of `counter` within `dim` (0 when absent).
+    pub fn dim_counter(&self, dim: Dim, counter: Counter) -> u64 {
+        self.dims.counter(dim, counter)
+    }
+
     /// Serializable snapshot of everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -365,6 +393,7 @@ impl CountingRecorder {
                 .map(|c| (c.key(), self.counters[*c as usize]))
                 .collect(),
             histograms: self.hists.iter().map(Histogram::snapshot).collect(),
+            dims: self.dims.snapshot(),
         }
     }
 }
@@ -376,6 +405,14 @@ impl Recorder for CountingRecorder {
 
     fn observe(&mut self, kind: HistKind, value: u64) {
         self.hists[kind as usize].record(value);
+    }
+
+    fn add_dim(&mut self, dim: Dim, counter: Counter, n: u64) {
+        self.dims.add(dim, counter, n);
+    }
+
+    fn observe_dim(&mut self, dim: Dim, kind: HistKind, value: u64) {
+        self.dims.observe(dim, kind, value);
     }
 }
 
@@ -475,6 +512,14 @@ impl Recorder for RunRecorder {
         self.counting.observe(kind, value);
     }
 
+    fn add_dim(&mut self, dim: Dim, counter: Counter, n: u64) {
+        self.counting.add_dim(dim, counter, n);
+    }
+
+    fn observe_dim(&mut self, dim: Dim, kind: HistKind, value: u64) {
+        self.counting.observe_dim(dim, kind, value);
+    }
+
     fn span_begin(&mut self, track: Track, name: &'static str, ts_us: u64) {
         if let Some(t) = &mut self.timeline {
             t.push(TracePhase::Begin, track, name, ts_us, 0);
@@ -565,6 +610,25 @@ mod tests {
         assert_eq!(r.hist(HistKind::SearchHops).count(), 1);
         let snap = r.snapshot();
         assert_eq!(snap.counter("resolved_channel"), 3);
+    }
+
+    #[test]
+    fn counting_recorder_attributes_dims() {
+        let mut r = CountingRecorder::new();
+        r.count_dim(Dim::Community(7), Counter::CacheHit);
+        r.add_dim(Dim::Community(7), Counter::CacheHit, 2);
+        r.count_dim(Dim::Community(2), Counter::CacheMiss);
+        r.observe_dim(Dim::Shard(1), HistKind::SearchHops, 4);
+        assert_eq!(r.dim_counter(Dim::Community(7), Counter::CacheHit), 3);
+        assert_eq!(r.dim_counter(Dim::Community(7), Counter::CacheMiss), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.dims.len(), 3);
+        let c7 = snap.dim(Dim::Community(7)).expect("community 7 slice");
+        assert_eq!(c7.counter("cache_hit"), 3);
+        let s1 = snap.dim(Dim::Shard(1)).expect("shard 1 slice");
+        assert_eq!(s1.histogram("search_hops").map(|h| h.count), Some(1));
+        // Run-wide totals are untouched by dim attribution.
+        assert_eq!(r.counter(Counter::CacheHit), 0);
     }
 
     #[test]

@@ -134,13 +134,38 @@ fn track_tid(track: Track) -> u64 {
     }
 }
 
+/// Default cap on the number of per-peer lanes a Chrome trace renders —
+/// large enough for any inspection workload, small enough that a 200k-peer
+/// run does not open as 200k threads.
+pub const DEFAULT_PEER_TRACK_CAP: usize = 64;
+
+/// Thread id of the aggregate lane that folds all peers beyond the cap.
+/// Sits above the whole peer and shard tid ranges.
+const AGGREGATE_PEER_TID: u64 = 2 + (1 << 33);
+
 /// Renders one or more timelines into a Chrome trace-event file: each
 /// `(process name, timeline)` pair becomes one process (so a campaign can
 /// put every protocol into a single trace), each track one named thread.
+/// Per-peer lanes are capped at [`DEFAULT_PEER_TRACK_CAP`]; see
+/// [`chrome_trace_capped`].
 ///
 /// The output is the object form (`{"traceEvents": [...]}`) accepted by
 /// `chrome://tracing` and Perfetto.
 pub fn chrome_trace(parts: &[(&str, &Timeline)]) -> String {
+    chrome_trace_capped(parts, DEFAULT_PEER_TRACK_CAP)
+}
+
+/// [`chrome_trace`] with an explicit cap on per-peer lanes.
+///
+/// When a process's timeline touches at most `peer_cap` distinct peers the
+/// output is byte-identical to the uncapped rendering. Beyond the cap, the
+/// `peer_cap` busiest peers (most events; ties broken by lower id) keep
+/// their own lanes and every other peer's events are folded onto one
+/// aggregate lane named `"peers (other N)"`. On the aggregate lane, span
+/// begins are demoted to instants and span ends dropped (interleaved spans
+/// from many peers cannot nest on one thread); instants and counter
+/// samples pass through unchanged.
+pub fn chrome_trace_capped(parts: &[(&str, &Timeline)], peer_cap: usize) -> String {
     let mut out = String::from("{\"traceEvents\": [\n");
     let mut first = true;
     let mut push = |out: &mut String, line: String| {
@@ -159,10 +184,34 @@ pub fn chrome_trace(parts: &[(&str, &Timeline)]) -> String {
                  \"args\": {{\"name\": \"{name}\"}}}}"
             ),
         );
-        // One thread-name metadata record per distinct track, tid-ordered.
+        // Which peers keep their own lane: all of them when under the cap
+        // (`kept: None`, the uncapped rendering), else the top-`peer_cap`
+        // by event count with ties broken by lower id.
+        let mut peer_events: std::collections::BTreeMap<u32, u64> =
+            std::collections::BTreeMap::new();
+        for e in timeline.events() {
+            if let Track::Peer(n) = e.track {
+                *peer_events.entry(n).or_insert(0) += 1;
+            }
+        }
+        let folded = peer_events.len().saturating_sub(peer_cap);
+        let kept: Option<std::collections::BTreeSet<u32>> = if folded == 0 {
+            None
+        } else {
+            let mut ranked: Vec<(u32, u64)> = peer_events.iter().map(|(n, c)| (*n, *c)).collect();
+            ranked.sort_by_key(|(n, c)| (std::cmp::Reverse(*c), *n));
+            Some(ranked.iter().take(peer_cap).map(|(n, _)| *n).collect())
+        };
+        let keeps_lane = |track: Track| match (track, &kept) {
+            (Track::Peer(n), Some(kept)) => kept.contains(&n),
+            _ => true,
+        };
+        // One thread-name metadata record per distinct surviving track,
+        // tid-ordered, plus the aggregate lane when anything folds.
         let mut tracks: Vec<Track> = timeline.events().iter().map(|e| e.track).collect();
         tracks.sort_unstable();
         tracks.dedup();
+        tracks.retain(|t| keeps_lane(*t));
         for track in &tracks {
             push(
                 &mut out,
@@ -174,9 +223,30 @@ pub fn chrome_trace(parts: &[(&str, &Timeline)]) -> String {
                 ),
             );
         }
+        if folded > 0 {
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\": \"M\", \"pid\": {pid}, \"tid\": {AGGREGATE_PEER_TID}, \
+                     \"name\": \"thread_name\", \
+                     \"args\": {{\"name\": \"peers (other {folded})\"}}}}"
+                ),
+            );
+        }
         for e in timeline.events() {
-            let tid = track_tid(e.track);
-            let line = match e.phase {
+            let own_lane = keeps_lane(e.track);
+            let tid = if own_lane {
+                track_tid(e.track)
+            } else {
+                AGGREGATE_PEER_TID
+            };
+            let phase = match (e.phase, own_lane) {
+                // Folded spans cannot nest on a shared lane.
+                (TracePhase::Begin, false) => TracePhase::Instant,
+                (TracePhase::End, false) => continue,
+                (p, _) => p,
+            };
+            let line = match phase {
                 TracePhase::Begin => format!(
                     "{{\"ph\": \"B\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}, \
                      \"name\": \"{}\", \"cat\": \"sim\"}}",
@@ -267,6 +337,82 @@ mod tests {
             .filter_map(|e| e.get("pid").and_then(|p| p.as_u64()))
             .collect();
         assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    /// Six peers with event counts 1..=6 (peer id 5 the busiest), plus an
+    /// engine counter series.
+    fn busy_timeline() -> Timeline {
+        let mut t = Timeline::new();
+        for peer in 0..6u32 {
+            t.push(TracePhase::Begin, Track::Peer(peer), "session", 10, 0);
+            for k in 0..peer {
+                t.push(
+                    TracePhase::Instant,
+                    Track::Peer(peer),
+                    "playback",
+                    20 + u64::from(k),
+                    0,
+                );
+            }
+            t.push(TracePhase::End, Track::Peer(peer), "", 90, 0);
+        }
+        t.push(TracePhase::Counter, Track::Engine, "queue_depth", 50, 9);
+        t
+    }
+
+    #[test]
+    fn peer_cap_leaves_small_traces_byte_identical() {
+        let t = demo_timeline();
+        let parts = [("run", &t)];
+        // One peer track, so any cap >= 1 takes the uncapped path.
+        assert_eq!(
+            chrome_trace_capped(&parts, 1),
+            chrome_trace_capped(&parts, DEFAULT_PEER_TRACK_CAP)
+        );
+        assert_eq!(
+            chrome_trace(&parts),
+            chrome_trace_capped(&parts, usize::MAX)
+        );
+    }
+
+    #[test]
+    fn peer_cap_folds_excess_tracks_into_aggregate_lane() {
+        let t = busy_timeline();
+        let rendered = chrome_trace_capped(&[("run", &t)], 2);
+        let v = json::parse(&rendered).expect("valid json");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let thread_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+            })
+            .collect();
+        // Busiest two peers (5 and 4) keep lanes; the other four fold.
+        assert_eq!(
+            thread_names,
+            vec!["engine", "peer-4", "peer-5", "peers (other 4)"]
+        );
+        // Folded span begins were demoted to instants, their ends dropped:
+        // only kept peers emit B/E pairs.
+        let spans = events
+            .iter()
+            .filter(|e| matches!(e.get("ph").and_then(|p| p.as_str()), Some("B") | Some("E")))
+            .count();
+        assert_eq!(spans, 4, "two kept peers x (B + E)");
+        // Every folded event landed on the aggregate tid.
+        let aggregate_events = events
+            .iter()
+            .filter(|e| {
+                e.get("tid").and_then(|t| t.as_u64()) == Some(AGGREGATE_PEER_TID)
+                    && e.get("name").and_then(|n| n.as_str()) != Some("thread_name")
+            })
+            .count();
+        // 4 folded peers: each had 1 begin (now instant) + `id` instants
+        // (0+1+2+3) and a dropped end.
+        assert_eq!(aggregate_events, 4 + 6);
     }
 
     #[test]

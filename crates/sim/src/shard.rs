@@ -146,6 +146,10 @@ pub struct Delivery<E> {
     pub at: SimTime,
     /// Canonical sequence number.
     pub seq: u64,
+    /// The shard whose handler scheduled this event — the "from" half of
+    /// a cross-shard message edge (the caller's routing decision is the
+    /// "to" half). Profiling-only: delivery order ignores it.
+    pub from: usize,
     /// The event itself.
     pub event: E,
 }
@@ -421,7 +425,12 @@ impl MergeState {
                 match call {
                     ShardCall::Local => self.resolved[s].push(seq),
                     ShardCall::Deferred { at, event } => {
-                        deliveries.push(Delivery { at, seq, event });
+                        deliveries.push(Delivery {
+                            at,
+                            seq,
+                            from: s,
+                            event,
+                        });
                     }
                 }
             }
